@@ -1,0 +1,489 @@
+package encore
+
+// The benchmark harness regenerates every table of the paper's evaluation
+// (BenchmarkTableN, one per table) and measures the ablations DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table benches report the headline quantity of their table as a custom
+// metric alongside timing, so a bench run doubles as a results summary.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/assemble"
+	"repro/internal/baseline"
+	"repro/internal/conftypes"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/inject"
+	"repro/internal/mining"
+	"repro/internal/rules"
+)
+
+const benchSeed = 1
+
+func BenchmarkTable1Study(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := eval.Table1()
+		if len(rows) != 4 {
+			b.Fatal("study rows")
+		}
+	}
+	b.ReportMetric(float64(len(eval.Table1())), "apps")
+}
+
+func BenchmarkTable2AttributeGrowth(b *testing.B) {
+	var last []eval.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table2(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	total := 0
+	for _, r := range last {
+		total += r.Binomial
+	}
+	b.ReportMetric(float64(total), "binomial-attrs")
+}
+
+func BenchmarkTable3MiningScalability(b *testing.B) {
+	oom := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table3(benchSeed, nil, 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oom = 0
+		for _, r := range rows {
+			if r.OOM {
+				oom++
+			}
+		}
+	}
+	b.ReportMetric(float64(oom), "oom-runs")
+}
+
+func BenchmarkTable8InjectionStudy(b *testing.B) {
+	var rows []eval.Table8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table8(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	detected := 0
+	for _, r := range rows {
+		detected += r.EnCore
+	}
+	b.ReportMetric(float64(detected), "encore-detected")
+}
+
+func BenchmarkTable9RealWorldCases(b *testing.B) {
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table9(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = 0
+		for _, r := range rows {
+			if r.Detected {
+				detected++
+			}
+		}
+	}
+	b.ReportMetric(float64(detected), "cases-detected")
+}
+
+func BenchmarkTable10NewMisconfigurations(b *testing.B) {
+	total := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table10(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for _, r := range rows {
+			total += r.Total
+		}
+	}
+	b.ReportMetric(float64(total), "detections")
+}
+
+func BenchmarkTable11TypeInference(b *testing.B) {
+	var rows []eval.Table11Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table11(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	wrong := 0
+	for _, r := range rows {
+		wrong += r.FalseTypes + r.Undetected
+	}
+	b.ReportMetric(float64(wrong), "inference-errors")
+}
+
+func BenchmarkTable12RuleInference(b *testing.B) {
+	var rows []eval.Table12Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table12(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.DetectedRules
+	}
+	b.ReportMetric(float64(total), "rules")
+}
+
+func BenchmarkTable13EntropyFilter(b *testing.B) {
+	var rows []eval.Table13Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table13(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reduced := 0
+	for _, r := range rows {
+		reduced += r.FPReduced
+	}
+	b.ReportMetric(float64(reduced), "fp-reduced")
+}
+
+// ---- pipeline stage benchmarks ----
+
+func benchCorpus(b *testing.B, app string, n int) ([]*Image, *dataset.Dataset) {
+	b.Helper()
+	images, err := corpus.Training(app, n, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := assemble.New().AssembleTraining(images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return images, ds
+}
+
+func BenchmarkAssembleTraining(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assemble.New().AssembleTraining(images); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuleInferenceParallel(b *testing.B) {
+	images, ds := benchCorpus(b, "apache", 60)
+	byID := corpus.ByID(images)
+	eng := rules.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Infer(ds, byID)
+	}
+}
+
+func BenchmarkRuleInferenceSerial(b *testing.B) {
+	images, ds := benchCorpus(b, "apache", 60)
+	byID := corpus.ByID(images)
+	eng := rules.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.InferSerial(ds, byID)
+	}
+}
+
+func BenchmarkDetectorCheck(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := corpus.RealWorldCases()[2].Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Check(k, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineCheck(b *testing.B) {
+	images, ds := benchCorpus(b, "mysql", 60)
+	_ = images
+	target := corpus.RealWorldCases()[2].Build()
+	bl := baseline.NewBaselineEnv(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bl.Check(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInjection(b *testing.B) {
+	images, err := corpus.Training("apache", 1, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := images[0].Clone()
+		if _, err := inject.New(int64(i)).Inject(victim, "apache", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablations ----
+
+// BenchmarkAblationTypedCandidates measures the typed candidate space; its
+// untyped counterpart shows what template instantiation would cost without
+// type-based attribute selection — the scalability argument of Section 5.1.
+func BenchmarkAblationTypedCandidates(b *testing.B) {
+	_, ds := benchCorpus(b, "apache", 60)
+	eng := rules.NewEngine()
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = eng.CandidateCount(ds)
+	}
+	b.ReportMetric(float64(n), "candidates")
+}
+
+func BenchmarkAblationUntypedCandidates(b *testing.B) {
+	_, ds := benchCorpus(b, "apache", 60)
+	// Erase semantic types: every attribute becomes eligible for every
+	// numeric/string slot, the worst case the paper's typed selection
+	// avoids.
+	untyped := dataset.New()
+	for _, a := range ds.Attributes() {
+		untyped.DeclareAttr(a.Name, conftypes.TypeNumber, false)
+	}
+	eng := rules.NewEngine()
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = eng.CandidateCount(untyped)
+	}
+	b.ReportMetric(float64(n), "candidates")
+}
+
+// BenchmarkAblationSyntacticOnly measures type-inference accuracy without
+// the semantic verification step (crude syntactic guesses only).
+func BenchmarkAblationSyntacticOnly(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inf := conftypes.NewInferencer()
+	// Strip every semantic verifier.
+	noVerify := conftypes.NewInferencer()
+	stripped := 0
+	for _, d := range noVerify.Defs() {
+		if d.Verify != nil {
+			d.Verify = nil
+			stripped++
+		}
+	}
+	img := images[0]
+	values := []string{"/var/lib/mysql", "mysql", "3306", "16M", "10.0.0.5", "no-such-user"}
+	b.ResetTimer()
+	misclassified := 0
+	for i := 0; i < b.N; i++ {
+		misclassified = 0
+		for _, v := range values {
+			if inf.InferValue(v, img) != noVerify.InferValue(v, img) {
+				misclassified++
+			}
+		}
+	}
+	b.ReportMetric(float64(misclassified), "divergent-types")
+}
+
+// ---- mining algorithm comparison ----
+
+func miningWorkload(b *testing.B, app string) [][]int {
+	b.Helper()
+	_, ds := benchCorpus(b, app, 0x0+60)
+	disc := ds.Discretize(nil)
+	return disc.Transactions
+}
+
+func BenchmarkMiningApriori(b *testing.B) {
+	txns := miningWorkload(b, "php")
+	m := &mining.Apriori{MaxSets: 100_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := m.Mine(txns, len(txns)*8/10)
+		if err != nil && err != mining.ErrBudgetExceeded {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMiningFPGrowth(b *testing.B) {
+	txns := miningWorkload(b, "php")
+	m := &mining.FPGrowth{MaxSets: 100_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := m.Mine(txns, len(txns)*8/10)
+		if err != nil && err != mining.ErrBudgetExceeded {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- extension studies ----
+
+// BenchmarkExtensionEnvInjection measures the environment-error study: the
+// pure baseline is structurally blind, EnCore is not.
+func BenchmarkExtensionEnvInjection(b *testing.B) {
+	var rows []eval.EnvInjectionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.ExtensionEnvInjection(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	enc := 0
+	for _, r := range rows {
+		enc += r.EnCore
+	}
+	b.ReportMetric(float64(enc), "encore-detected")
+}
+
+// BenchmarkExtensionCrossComponent measures LAMP cross-component learning
+// and detection (the paper's future-work extension).
+func BenchmarkExtensionCrossComponent(b *testing.B) {
+	var res *eval.CrossComponentResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.ExtensionCrossComponent(40, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.CrossRules), "cross-rules")
+}
+
+// BenchmarkProfileCheck measures checking from a deserialized knowledge
+// profile (no training corpus in memory).
+func BenchmarkProfileCheck(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := k.Profile().Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := LoadProfile(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := corpus.RealWorldCases()[2].Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.CheckWithProfile(p, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThresholdSweep measures the filter-threshold
+// sensitivity sweep (confidence / support / entropy, 15 points).
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	var points []eval.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = eval.ThresholdSweep("mysql", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, p := range points {
+		if p.Precision() > best {
+			best = p.Precision()
+		}
+	}
+	b.ReportMetric(best*100, "best-precision-%")
+}
+
+// BenchmarkAdvise measures remediation-advice derivation for a report.
+func BenchmarkAdvise(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := corpus.RealWorldCases()[2].Build()
+	report, err := fw.Check(k, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n = len(k.Advise(report))
+	}
+	b.ReportMetric(float64(n), "suggestions")
+}
+
+// BenchmarkHeadline prints the paper's headline comparison as a benchmark:
+// EnCore vs the baselines on the injection study.
+func BenchmarkHeadline(b *testing.B) {
+	var rows []eval.Table8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table8(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	enc, base := 0, 0
+	for _, r := range rows {
+		enc += r.EnCore
+		base += r.Baseline
+	}
+	if base > 0 {
+		b.ReportMetric(float64(enc)/float64(base), "improvement-x")
+	}
+	b.Logf("\n%s", eval.RenderTable8(rows))
+	_ = fmt.Sprint()
+}

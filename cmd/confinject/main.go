@@ -1,0 +1,63 @@
+// Command confinject injects seeded configuration errors into an image
+// snapshot (the ConfErr-substitute used by the Table 8 injection study).
+//
+// Usage:
+//
+//	confinject -image img.json -app mysql -n 15 -seed 7 -out broken.json
+//
+// The injection log is printed to stdout, one error per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/inject"
+	"repro/internal/sysimage"
+)
+
+func main() {
+	imagePath := flag.String("image", "", "input image JSON file")
+	app := flag.String("app", "", "application whose configuration to corrupt")
+	n := flag.Int("n", 15, "number of errors to inject")
+	seed := flag.Int64("seed", 7, "injection seed")
+	out := flag.String("out", "", "output image JSON file")
+	flag.Parse()
+
+	if *imagePath == "" || *app == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: confinject -image FILE -app NAME -n N -seed S -out FILE")
+		os.Exit(2)
+	}
+	if err := run(*imagePath, *app, *n, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "confinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(imagePath, app string, n int, seed int64, out string) error {
+	data, err := os.ReadFile(imagePath)
+	if err != nil {
+		return err
+	}
+	img, err := sysimage.LoadJSON(data)
+	if err != nil {
+		return err
+	}
+	log, err := inject.New(seed).Inject(img, app, n)
+	if err != nil {
+		return err
+	}
+	for i, inj := range log {
+		fmt.Printf("%2d. %s\n", i+1, inj)
+	}
+	encoded, err := img.MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, encoded, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote corrupted image to %s\n", out)
+	return nil
+}

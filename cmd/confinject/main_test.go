@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+)
+
+func writeImage(t *testing.T) string {
+	t.Helper()
+	images, err := corpus.Training("mysql", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := sysimage.SaveDir(dir, images); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, images[0].ID+".json")
+}
+
+func TestRunInjects(t *testing.T) {
+	in := writeImage(t)
+	out := filepath.Join(t.TempDir(), "broken.json")
+	if err := run(in, "mysql", 5, 9, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := sysimage.LoadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := os.ReadFile(in)
+	origImg, _ := sysimage.LoadJSON(orig)
+	if img.ConfigFor("mysql").Content == origImg.ConfigFor("mysql").Content {
+		t.Fatal("output config unchanged")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.json")
+	if err := run("/no/such/file.json", "mysql", 1, 1, out); err == nil {
+		t.Fatal("missing input should error")
+	}
+	in := writeImage(t)
+	if err := run(in, "apache", 1, 1, out); err == nil {
+		t.Fatal("missing app config should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{broken"), 0o644)
+	if err := run(bad, "mysql", 1, 1, out); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+}

@@ -1,0 +1,465 @@
+// Command encore is the EnCore CLI: learn best-practice configuration
+// rules from a directory of training images, and check target images
+// against learned rules.
+//
+// Usage:
+//
+//	encore learn  -training DIR [-rules FILE] [-custom FILE]
+//	encore check  -training DIR -target FILE [-custom FILE] [-top N]
+//	encore assemble -training DIR [-csv FILE]
+//
+// Images are JSON snapshots as produced by imagegen (one image per file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	encore "repro"
+	"repro/internal/collector"
+	"repro/internal/sysimage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "learn":
+		err = runLearn(os.Args[2:])
+	case "check":
+		err = runCheck(os.Args[2:])
+	case "assemble":
+		err = runAssemble(os.Args[2:])
+	case "scan":
+		err = runScan(os.Args[2:])
+	case "rules":
+		err = runRules(os.Args[2:])
+	case "collect":
+		err = runCollect(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "encore: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE]
+  encore check    (-training DIR | -profile FILE) -target FILE [-top N] [-json] [-advise]
+  encore scan     (-training DIR | -profile FILE) -targets DIR [-min-warnings N]
+  encore rules    (-training DIR | -profile FILE) [-custom FILE]
+  encore collect  -root DIR -id NAME -app NAME=RELPATH [-app ...] -out FILE
+  encore assemble -training DIR [-csv FILE]`)
+}
+
+func newFramework(customFile string) (*encore.Framework, error) {
+	fw := encore.New()
+	if customFile != "" {
+		if err := fw.LoadCustomizationFile(customFile); err != nil {
+			return nil, err
+		}
+	}
+	return fw, nil
+}
+
+func learn(fw *encore.Framework, trainingDir string) (*encore.Knowledge, error) {
+	images, err := sysimage.LoadDir(trainingDir)
+	if err != nil {
+		return nil, err
+	}
+	return fw.Learn(images)
+}
+
+func runLearn(args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	training := fs.String("training", "", "directory of training image JSON files")
+	rulesOut := fs.String("rules", "", "write learned rules to this file (default stdout)")
+	profileOut := fs.String("profile", "", "write a full knowledge profile (rules + histograms) to this file")
+	customFile := fs.String("custom", "", "customization file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *training == "" {
+		return fmt.Errorf("learn: -training is required")
+	}
+	fw, err := newFramework(*customFile)
+	if err != nil {
+		return err
+	}
+	k, err := learn(fw, *training)
+	if err != nil {
+		return err
+	}
+	if *profileOut != "" {
+		data, err := k.Profile().Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*profileOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote knowledge profile (%d rules, %d attributes) -> %s\n",
+			len(k.Rules), len(k.Training.Attributes()), *profileOut)
+	}
+	data, err := k.RuleSet().Marshal()
+	if err != nil {
+		return err
+	}
+	if *rulesOut == "" {
+		if *profileOut == "" {
+			fmt.Println(string(data))
+		}
+		return nil
+	}
+	if err := os.WriteFile(*rulesOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("learned %d rules from %d images -> %s\n", len(k.Rules), len(k.Training.Rows), *rulesOut)
+	return nil
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	training := fs.String("training", "", "directory of training image JSON files")
+	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
+	target := fs.String("target", "", "target image JSON file")
+	customFile := fs.String("custom", "", "customization file")
+	top := fs.Int("top", 0, "print only the top N warnings (0 = all)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	withAdvice := fs.Bool("advise", false, "append remediation advice (requires -training)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*training == "") == (*profileIn == "") || *target == "" {
+		return fmt.Errorf("check: -target and exactly one of -training / -profile are required")
+	}
+	fw, err := newFramework(*customFile)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*target)
+	if err != nil {
+		return err
+	}
+	img, err := sysimage.LoadJSON(data)
+	if err != nil {
+		return err
+	}
+	var report *encore.Report
+	var knowledge *encore.Knowledge
+	var nRules, nTraining int
+	if *profileIn != "" {
+		pdata, err := os.ReadFile(*profileIn)
+		if err != nil {
+			return err
+		}
+		p, err := encore.LoadProfile(pdata)
+		if err != nil {
+			return err
+		}
+		report, err = fw.CheckWithProfile(p, img)
+		if err != nil {
+			return err
+		}
+		nRules, nTraining = len(p.Rules), p.Samples
+	} else {
+		k, err := learn(fw, *training)
+		if err != nil {
+			return err
+		}
+		report, err = fw.Check(k, img)
+		if err != nil {
+			return err
+		}
+		knowledge = k
+		nRules, nTraining = len(k.Rules), len(k.Training.Rows)
+	}
+	if *asJSON {
+		data, err := report.RenderJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("checked %s against %d rules from %d training images\n", img.ID, nRules, nTraining)
+	fmt.Print(report.RenderText(*top))
+	if *withAdvice {
+		if knowledge == nil {
+			return fmt.Errorf("check: -advise requires -training (advice uses the live training distributions)")
+		}
+		advice := knowledge.Advise(report)
+		if len(advice) > 0 {
+			fmt.Println("\nremediation advice:")
+			fmt.Print(encore.RenderAdvice(advice))
+		}
+	}
+	return nil
+}
+
+// runScan checks every image in a directory and prints a fleet summary:
+// per-image warning counts by kind, then the attributes flagged most often
+// across the fleet.
+func runScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	training := fs.String("training", "", "directory of training image JSON files")
+	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
+	targets := fs.String("targets", "", "directory of target image JSON files")
+	minWarnings := fs.Int("min-warnings", 1, "only list images with at least this many warnings")
+	customFile := fs.String("custom", "", "customization file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*training == "") == (*profileIn == "") || *targets == "" {
+		return fmt.Errorf("scan: -targets and exactly one of -training / -profile are required")
+	}
+	fw, err := newFramework(*customFile)
+	if err != nil {
+		return err
+	}
+	check := func(img *sysimage.Image) (*encore.Report, error) { return nil, nil }
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			return err
+		}
+		p, err := encore.LoadProfile(data)
+		if err != nil {
+			return err
+		}
+		check = func(img *sysimage.Image) (*encore.Report, error) { return fw.CheckWithProfile(p, img) }
+	} else {
+		k, err := learn(fw, *training)
+		if err != nil {
+			return err
+		}
+		check = func(img *sysimage.Image) (*encore.Report, error) { return fw.Check(k, img) }
+	}
+
+	images, err := sysimage.LoadDir(*targets)
+	if err != nil {
+		return err
+	}
+	// Target checks are independent; fan them out across the machine and
+	// report in the original (deterministic) order.
+	reports := make([]*encore.Report, len(images))
+	errs := make([]error, len(images))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < runtime.NumCPU(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				reports[i], errs[i] = check(images[i])
+			}
+		}()
+	}
+	for i := range images {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	flaggedImages := 0
+	totalWarnings := 0
+	attrCounts := map[string]int{}
+	for i, img := range images {
+		report, err := reports[i], errs[i]
+		if err != nil {
+			return fmt.Errorf("scan: %s: %w", img.ID, err)
+		}
+		totalWarnings += len(report.Warnings)
+		for _, w := range report.Warnings {
+			attrCounts[w.Attr]++
+		}
+		if len(report.Warnings) < *minWarnings {
+			continue
+		}
+		flaggedImages++
+		kinds := report.CountByKind()
+		fmt.Printf("%-28s %3d warnings (corr %d, type %d, name %d, value %d)\n",
+			img.ID, len(report.Warnings),
+			kinds[encore.KindCorrelation], kinds[encore.KindType],
+			kinds[encore.KindName], kinds[encore.KindSuspicious])
+		if top := report.Top(); top != nil {
+			fmt.Printf("%-28s     top: %s\n", "", top.Message)
+		}
+	}
+	fmt.Printf("\nscanned %d images: %d flagged, %d warnings total\n", len(images), flaggedImages, totalWarnings)
+	type ac struct {
+		attr string
+		n    int
+	}
+	var hot []ac
+	for a, n := range attrCounts {
+		hot = append(hot, ac{a, n})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].attr < hot[j].attr
+	})
+	if len(hot) > 0 {
+		fmt.Println("most-flagged attributes:")
+		for i, h := range hot {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %3dx %s\n", h.n, h.attr)
+		}
+	}
+	return nil
+}
+
+// runRules prints the learned rules in human-readable form, grouped by
+// template, with each template's description.
+func runRules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	training := fs.String("training", "", "directory of training image JSON files")
+	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
+	customFile := fs.String("custom", "", "customization file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*training == "") == (*profileIn == "") {
+		return fmt.Errorf("rules: exactly one of -training / -profile is required")
+	}
+	fw, err := newFramework(*customFile)
+	if err != nil {
+		return err
+	}
+	var learned []*encore.Rule
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			return err
+		}
+		p, err := encore.LoadProfile(data)
+		if err != nil {
+			return err
+		}
+		learned = p.Rules
+	} else {
+		k, err := learn(fw, *training)
+		if err != nil {
+			return err
+		}
+		learned = k.Rules
+		s := fw.Engine.LastStats
+		fmt.Printf("typed candidate space: %d (no evidence %d, support-rejected %d, confidence-rejected %d, entropy-rejected %d)\n\n",
+			s.Candidates, s.NoEvidence, s.SupportRejected, s.ConfidenceRejected, s.EntropyRejected)
+	}
+	byTemplate := map[string][]*encore.Rule{}
+	var order []string
+	for _, r := range learned {
+		if _, seen := byTemplate[r.Template]; !seen {
+			order = append(order, r.Template)
+		}
+		byTemplate[r.Template] = append(byTemplate[r.Template], r)
+	}
+	sort.Strings(order)
+	for _, tplID := range order {
+		desc := ""
+		for _, tpl := range fw.Templates() {
+			if tpl.ID == tplID {
+				desc = tpl.Description
+			}
+		}
+		fmt.Printf("%s — %s\n", tplID, desc)
+		for _, r := range byTemplate[tplID] {
+			fmt.Printf("    %s => %s  (support %d, confidence %.0f%%)\n", r.AttrA, r.AttrB, r.Support, r.Confidence*100)
+		}
+	}
+	fmt.Printf("\n%d rules across %d templates\n", len(learned), len(order))
+	return nil
+}
+
+// appFlags collects repeated -app NAME=RELPATH flags.
+type appFlags map[string]string
+
+func (a appFlags) String() string { return fmt.Sprint(map[string]string(a)) }
+
+func (a appFlags) Set(v string) error {
+	name, rel, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rel == "" {
+		return fmt.Errorf("want NAME=RELPATH, got %q", v)
+	}
+	a[name] = rel
+	return nil
+}
+
+// runCollect builds an image snapshot from a real filesystem tree (a
+// mounted VM image, a container filesystem, a chroot).
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	root := fs.String("root", "", "root of the extracted system tree")
+	id := fs.String("id", "", "image id for the snapshot")
+	out := fs.String("out", "", "output image JSON file")
+	apps := appFlags{}
+	fs.Var(apps, "app", "application config as NAME=RELPATH (repeatable)")
+	maxFiles := fs.Int("max-files", 0, "cap on collected file-system entries (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *root == "" || *id == "" || *out == "" {
+		return fmt.Errorf("collect: -root, -id, and -out are required")
+	}
+	img, err := collector.Collect(*root, *id, collector.Options{Apps: apps, MaxFiles: *maxFiles})
+	if err != nil {
+		return err
+	}
+	data, err := img.MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("collected %d files, %d users, %d services from %s -> %s\n",
+		len(img.Files), len(img.Users), len(img.Services), *root, *out)
+	return nil
+}
+
+func runAssemble(args []string) error {
+	fs := flag.NewFlagSet("assemble", flag.ExitOnError)
+	training := fs.String("training", "", "directory of training image JSON files")
+	csvOut := fs.String("csv", "", "write assembled dataset CSV to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *training == "" {
+		return fmt.Errorf("assemble: -training is required")
+	}
+	fw := encore.New()
+	k, err := learn(fw, *training)
+	if err != nil {
+		return err
+	}
+	csv := k.Training.CSV()
+	if *csvOut == "" {
+		fmt.Print(csv)
+		return nil
+	}
+	if err := os.WriteFile(*csvOut, []byte(csv), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %s -> %s\n", k.Training.Summary(), *csvOut)
+	return nil
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+)
+
+func fixture(t *testing.T) (trainingDir, targetFile string) {
+	t.Helper()
+	images, err := corpus.Training("mysql", 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainingDir = t.TempDir()
+	if err := sysimage.SaveDir(trainingDir, images); err != nil {
+		t.Fatal(err)
+	}
+	target := corpus.RealWorldCases()[2].Build()
+	data, err := target.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetFile = filepath.Join(t.TempDir(), "target.json")
+	if err := os.WriteFile(targetFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return trainingDir, targetFile
+}
+
+func TestRunLearnWritesRules(t *testing.T) {
+	training, _ := fixture(t)
+	rulesFile := filepath.Join(t.TempDir(), "rules.json")
+	if err := runLearn([]string{"-training", training, "-rules", rulesFile}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(rulesFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty rules file")
+	}
+}
+
+func TestRunLearnWritesProfile(t *testing.T) {
+	training, _ := fixture(t)
+	profileFile := filepath.Join(t.TempDir(), "profile.json")
+	if err := runLearn([]string{"-training", training, "-profile", profileFile}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(profileFile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckWithTraining(t *testing.T) {
+	training, target := fixture(t)
+	if err := runCheck([]string{"-training", training, "-target", target, "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckWithProfile(t *testing.T) {
+	training, target := fixture(t)
+	profileFile := filepath.Join(t.TempDir(), "profile.json")
+	if err := runLearn([]string{"-training", training, "-profile", profileFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck([]string{"-profile", profileFile, "-target", target}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAssembleWritesCSV(t *testing.T) {
+	training, _ := fixture(t)
+	csvFile := filepath.Join(t.TempDir(), "data.csv")
+	if err := runAssemble([]string{"-training", training, "-csv", csvFile}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := runLearn([]string{}); err == nil {
+		t.Fatal("learn without -training should error")
+	}
+	if err := runCheck([]string{"-target", "x.json"}); err == nil {
+		t.Fatal("check without knowledge source should error")
+	}
+	if err := runCheck([]string{"-training", "a", "-profile", "b", "-target", "x.json"}); err == nil {
+		t.Fatal("check with both knowledge sources should error")
+	}
+	if err := runAssemble([]string{}); err == nil {
+		t.Fatal("assemble without -training should error")
+	}
+	if err := runCheck([]string{"-profile", "/no/such.json", "-target", "/no/such.json"}); err == nil {
+		t.Fatal("missing files should error")
+	}
+}
+
+func TestRunWithCustomization(t *testing.T) {
+	training, target := fixture(t)
+	customFile := filepath.Join(t.TempDir(), "custom.txt")
+	custom := "$$TypeDeclaration\nDataDir\n$$TypeInference\nDataDir (value): { matches(value, 'mysql') && hasPrefix(value, '/') }\n"
+	if err := os.WriteFile(customFile, []byte(custom), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck([]string{"-training", training, "-target", target, "-custom", customFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck([]string{"-training", training, "-target", target, "-custom", "/missing.txt"}); err == nil {
+		t.Fatal("missing customization file should error")
+	}
+}
+
+func TestRunScan(t *testing.T) {
+	training, _ := fixture(t)
+	// Scan a small fleet containing one broken image.
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 3, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := corpus.RealWorldCases()[2].Build()
+	images = append(images, broken)
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScan([]string{"-training", training, "-targets", targets}); err != nil {
+		t.Fatal(err)
+	}
+	// Profile-based scan.
+	profileFile := filepath.Join(t.TempDir(), "p.json")
+	if err := runLearn([]string{"-training", training, "-profile", profileFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScan([]string{"-profile", profileFile, "-targets", targets}); err != nil {
+		t.Fatal(err)
+	}
+	// Argument validation.
+	if err := runScan([]string{"-targets", targets}); err == nil {
+		t.Fatal("scan without knowledge source should error")
+	}
+	if err := runScan([]string{"-training", training}); err == nil {
+		t.Fatal("scan without targets should error")
+	}
+}
+
+func TestRunRules(t *testing.T) {
+	training, _ := fixture(t)
+	if err := runRules([]string{"-training", training}); err != nil {
+		t.Fatal(err)
+	}
+	profileFile := filepath.Join(t.TempDir(), "p.json")
+	if err := runLearn([]string{"-training", training, "-profile", profileFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRules([]string{"-profile", profileFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRules([]string{}); err == nil {
+		t.Fatal("rules without knowledge source should error")
+	}
+	if err := runRules([]string{"-profile", "/missing.json"}); err == nil {
+		t.Fatal("missing profile should error")
+	}
+}
+
+func TestRunCollect(t *testing.T) {
+	root := t.TempDir()
+	os.MkdirAll(filepath.Join(root, "etc"), 0o755)
+	os.WriteFile(filepath.Join(root, "etc/passwd"), []byte("root:x:0:0:r:/root:/bin/sh\n"), 0o644)
+	os.WriteFile(filepath.Join(root, "etc/my.cnf"), []byte("[mysqld]\nuser = root\n"), 0o644)
+	out := filepath.Join(t.TempDir(), "img.json")
+	err := runCollect([]string{"-root", root, "-id", "tree-1", "-app", "mysql=etc/my.cnf", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := sysimage.LoadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.ID != "tree-1" || img.ConfigFor("mysql") == nil || !img.UserExists("root") {
+		t.Fatalf("collected image incomplete: %+v", img.ID)
+	}
+	// Argument validation.
+	if err := runCollect([]string{"-root", root}); err == nil {
+		t.Fatal("missing flags should error")
+	}
+	if err := runCollect([]string{"-root", "/nope", "-id", "x", "-out", out}); err == nil {
+		t.Fatal("missing root should error")
+	}
+}
+
+func TestAppFlagsSet(t *testing.T) {
+	a := appFlags{}
+	if err := a.Set("mysql=etc/my.cnf"); err != nil || a["mysql"] != "etc/my.cnf" {
+		t.Fatalf("Set = %v, map = %v", err, a)
+	}
+	if err := a.Set("badformat"); err == nil {
+		t.Fatal("malformed app flag should error")
+	}
+	if err := a.Set("=x"); err == nil || a.String() == "" {
+		t.Fatal("empty name should error; String should render")
+	}
+}

@@ -1,0 +1,120 @@
+// Command evaluate regenerates the paper's evaluation tables on the
+// synthetic corpora.
+//
+// Usage:
+//
+//	evaluate              # all tables
+//	evaluate -table 8     # one table (1, 2, 3, 8, 9, 10, 11, 12, 13)
+//	evaluate -seed 42     # different corpus seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (0 = all)")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	budget := flag.Int("budget", eval.Table3Budget, "frequent-item-set budget for Table 3 (simulated OOM)")
+	ext := flag.Bool("ext", false, "also run the extension studies (env-error injection, LAMP cross-component)")
+	flag.Parse()
+
+	if err := run(*table, *seed, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+	if *ext || *table == 0 {
+		if err := runExtensions(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runExtensions(seed int64) error {
+	rows, err := eval.ExtensionEnvInjection(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(eval.RenderEnvInjection(rows))
+	res, err := eval.ExtensionCrossComponent(60, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(eval.RenderCrossComponent(res))
+	points, err := eval.ThresholdSweep("mysql", seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(eval.RenderSweep("mysql", points))
+	return nil
+}
+
+func run(table int, seed int64, budget int) error {
+	want := func(n int) bool { return table == 0 || table == n }
+
+	if want(1) {
+		fmt.Println(eval.RenderTable1())
+	}
+	if want(2) {
+		rows, err := eval.Table2(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable2(rows))
+	}
+	if want(3) {
+		rows, err := eval.Table3(seed, nil, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable3(rows))
+	}
+	if want(8) {
+		rows, err := eval.Table8(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable8(rows))
+	}
+	if want(9) {
+		rows, err := eval.Table9(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable9(rows))
+	}
+	if want(10) {
+		rows, err := eval.Table10(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable10(rows))
+	}
+	if want(11) {
+		rows, err := eval.Table11(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable11(rows))
+	}
+	if want(12) {
+		rows, err := eval.Table12(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable12(rows))
+	}
+	if want(13) {
+		rows, err := eval.Table13(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable13(rows))
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSingleTables(t *testing.T) {
+	// Fast tables only; the heavy ones are covered by internal/eval tests
+	// and the benchmark harness.
+	for _, table := range []int{1, 2} {
+		if err := run(table, 1, 50_000); err != nil {
+			t.Fatalf("table %d: %v", table, err)
+		}
+	}
+}
+
+func TestRunUnknownTableIsNoop(t *testing.T) {
+	if err := run(99, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	if err := runExtensions(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Command imagegen generates synthetic system-image corpora (the EC2 and
+// private-cloud stand-ins) as JSON snapshots, one image per file.
+//
+// Usage:
+//
+//	imagegen -app mysql -n 187 -seed 1 -out ./images/mysql
+//	imagegen -population ec2 -seed 1 -out ./images/ec2
+//	imagegen -population private-cloud -seed 2 -out ./images/pc
+//
+// Population mode also writes a ground-truth file (truth.txt) listing the
+// latent misconfigurations planted in the population.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+)
+
+func main() {
+	app := flag.String("app", "", "generate clean training images for this app (apache, mysql, php, sshd)")
+	n := flag.Int("n", 50, "number of images (app mode)")
+	population := flag.String("population", "", "generate a target population: ec2 or private-cloud")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output directory")
+	flag.Parse()
+
+	if *out == "" || (*app == "") == (*population == "") {
+		fmt.Fprintln(os.Stderr, "usage: imagegen (-app NAME -n N | -population ec2|private-cloud) -seed S -out DIR")
+		os.Exit(2)
+	}
+	if err := run(*app, *population, *n, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "imagegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, population string, n int, seed int64, out string) error {
+	var images []*sysimage.Image
+	var truth []corpus.Latent
+	switch {
+	case app != "":
+		var err error
+		images, err = corpus.Training(app, n, seed)
+		if err != nil {
+			return err
+		}
+	case population == "ec2":
+		pop, err := corpus.EC2Targets(seed)
+		if err != nil {
+			return err
+		}
+		images, truth = pop.Images, pop.Truth
+	case population == "private-cloud":
+		pop, err := corpus.PrivateCloudTargets(seed)
+		if err != nil {
+			return err
+		}
+		images, truth = pop.Images, pop.Truth
+	default:
+		return fmt.Errorf("unknown population %q", population)
+	}
+	if err := sysimage.SaveDir(out, images); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d images to %s\n", len(images), out)
+	if len(truth) > 0 {
+		var b []byte
+		for _, l := range truth {
+			b = append(b, fmt.Sprintf("%s\t%s\t%s\t%s\n", l.ImageID, l.Category, l.Attr, l.Desc)...)
+		}
+		name := filepath.Join(out, "truth.txt")
+		if err := os.WriteFile(name, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d planted issues to %s\n", len(truth), name)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAppMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("mysql", "", 4, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("files = %d", len(entries))
+	}
+}
+
+func TestRunPopulationMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "ec2", 0, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "truth.txt")); err != nil {
+		t.Fatalf("truth file missing: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 121 { // 120 images + truth.txt
+		t.Fatalf("files = %d", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nginx", "", 1, 1, t.TempDir()); err == nil {
+		t.Fatal("unknown app should error")
+	}
+	if err := run("", "moon-base", 0, 1, t.TempDir()); err == nil {
+		t.Fatal("unknown population should error")
+	}
+}

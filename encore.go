@@ -1,0 +1,199 @@
+// Package encore is a from-scratch reproduction of EnCore, the
+// misconfiguration detector of Zhang et al. (ASPLOS 2014): "EnCore:
+// Exploiting System Environment and Correlation Information for
+// Misconfiguration Detection".
+//
+// EnCore learns best-practice configuration rules from a training set of
+// configured system images and checks target systems against them. Two
+// information sources distinguish it from value-comparison detectors:
+//
+//   - Environment integration: configuration values are semantically typed
+//     (file path, user, port, size, ...) by a two-step syntactic/semantic
+//     inference against the system image, and each typed entry is
+//     augmented with environment attributes (owner, kind, permission,
+//     address class, ...).
+//   - Correlation rules: typed rule templates are instantiated over
+//     eligible attribute pairs and validated across the training set, with
+//     support, confidence, and entropy filters pruning false rules.
+//
+// The Framework type bundles the pipeline; Learn produces Knowledge from a
+// training set; Check produces a ranked anomaly report for a target image.
+//
+//	fw := encore.New()
+//	k, err := fw.Learn(trainingImages)
+//	report, err := fw.Check(k, target)
+//	for _, w := range report.Warnings { fmt.Println(w.Rank, w.Message) }
+package encore
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/advise"
+	"repro/internal/assemble"
+	"repro/internal/conftypes"
+	"repro/internal/custom"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/profile"
+	"repro/internal/rules"
+	"repro/internal/sysimage"
+	"repro/internal/templates"
+)
+
+// Re-exported types so downstream users work with one import.
+type (
+	// Image is a captured system image (environment + configuration).
+	Image = sysimage.Image
+	// Report is a ranked anomaly report.
+	Report = detect.Report
+	// Warning is one detected anomaly.
+	Warning = detect.Warning
+	// Rule is one learned correlation rule.
+	Rule = rules.Rule
+	// Config holds the rule-inference thresholds.
+	Config = rules.Config
+)
+
+// Warning kinds, re-exported from the detector.
+const (
+	KindName        = detect.KindName
+	KindCorrelation = detect.KindCorrelation
+	KindType        = detect.KindType
+	KindSuspicious  = detect.KindSuspicious
+)
+
+// Framework bundles the EnCore pipeline: the data assembler (with its type
+// inferencer), the rule-inference engine, and any loaded customization.
+type Framework struct {
+	Assembler *assemble.Assembler
+	Engine    *rules.Engine
+}
+
+// New returns a framework with the predefined types (Table 4), the default
+// augmenters (Table 5), and the 11 predefined rule templates (Table 6).
+func New() *Framework {
+	return &Framework{
+		Assembler: assemble.New(),
+		Engine:    rules.NewEngine(),
+	}
+}
+
+// LoadCustomization parses a customization file (Section 5.3) and installs
+// its types, augmenters, operators, and templates into the framework.
+func (f *Framework) LoadCustomization(src string) error {
+	c, err := custom.ParseFile(src)
+	if err != nil {
+		return err
+	}
+	c.Apply(f.Assembler.Inferencer, f.Assembler, f.Engine)
+	return nil
+}
+
+// LoadCustomizationFile reads and applies a customization file from disk.
+func (f *Framework) LoadCustomizationFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("encore: read customization: %w", err)
+	}
+	return f.LoadCustomization(string(data))
+}
+
+// Knowledge is what Learn produces: the assembled training dataset, the
+// learned rules, and the training images (validators may consult their
+// environments again during checking).
+type Knowledge struct {
+	Training *dataset.Dataset
+	Rules    []*rules.Rule
+	images   map[string]*sysimage.Image
+}
+
+// Learn assembles the training images and infers correlation rules.
+func (f *Framework) Learn(images []*sysimage.Image) (*Knowledge, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("encore: empty training set")
+	}
+	ds, err := f.Assembler.AssembleTraining(images)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]*sysimage.Image, len(images))
+	for _, im := range images {
+		byID[im.ID] = im
+	}
+	learned := f.Engine.Infer(ds, byID)
+	return &Knowledge{Training: ds, Rules: learned, images: byID}, nil
+}
+
+// RuleSet exports the knowledge's rules and attribute types for
+// serialization; learned rules can be reused to check many systems.
+func (k *Knowledge) RuleSet() *rules.RuleSet {
+	return rules.NewRuleSet(k.Rules, k.Training)
+}
+
+// Profile exports the complete learned knowledge — attribute types, value
+// histograms, and rules — as a portable document. A detector rebuilt from
+// the profile (see CheckWithProfile) produces the same reports as one
+// holding the live training set, so targets can be checked without
+// shipping the training corpus.
+func (k *Knowledge) Profile() *profile.Profile {
+	return profile.Build(k.Training, k.Rules)
+}
+
+// CheckWithProfile checks a target against previously exported knowledge.
+func (f *Framework) CheckWithProfile(p *profile.Profile, img *sysimage.Image) (*detect.Report, error) {
+	dt := p.Detector()
+	dt.Assembler = f.Assembler
+	dt.Templates = f.Engine.Templates
+	return dt.Check(img)
+}
+
+// LoadProfile parses a serialized knowledge profile.
+func LoadProfile(data []byte) (*profile.Profile, error) {
+	return profile.Unmarshal(data)
+}
+
+// Advice is one remediation suggestion for a warning.
+type Advice = advise.Advice
+
+// Advise derives remediation advice for a report's warnings, using the
+// knowledge's value distributions for "what the fleet does" hints.
+func (k *Knowledge) Advise(r *detect.Report) []Advice {
+	return advise.New(detect.DatasetView{D: k.Training}).ForReport(r)
+}
+
+// RenderAdvice formats advice as a numbered list.
+func RenderAdvice(a []Advice) string { return advise.Render(a) }
+
+// Check runs the anomaly detector on a target image and returns a ranked
+// report.
+func (f *Framework) Check(k *Knowledge, img *sysimage.Image) (*detect.Report, error) {
+	if k == nil {
+		return nil, fmt.Errorf("encore: nil knowledge (call Learn first)")
+	}
+	dt := detect.New(k.Training, k.Rules)
+	dt.Assembler = f.Assembler
+	dt.Templates = f.Engine.Templates
+	return dt.Check(img)
+}
+
+// Detector returns a configured detector for callers that need to tune it
+// (warning limits, template sets) before checking.
+func (f *Framework) Detector(k *Knowledge) *detect.Detector {
+	dt := detect.New(k.Training, k.Rules)
+	dt.Assembler = f.Assembler
+	dt.Templates = f.Engine.Templates
+	return dt
+}
+
+// Templates returns the framework's active rule templates.
+func (f *Framework) Templates() []*templates.Template { return f.Engine.Templates }
+
+// TypeOf reports the semantic type learned for an attribute.
+func (k *Knowledge) TypeOf(attr string) (conftypes.Type, bool) {
+	a, ok := k.Training.Attr(attr)
+	if !ok {
+		return "", false
+	}
+	return a.Type, true
+}

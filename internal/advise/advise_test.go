@@ -1,0 +1,158 @@
+package advise
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assemble"
+	"repro/internal/corpus"
+	"repro/internal/detect"
+	"repro/internal/rules"
+)
+
+func fixture(t *testing.T) (*Advisor, *detect.Detector) {
+	t.Helper()
+	images, err := corpus.Training("mysql", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := assemble.New().AssembleTraining(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := rules.NewEngine().Infer(ds, corpus.ByID(images))
+	dt := detect.New(ds, learned)
+	return New(dt.Training), dt
+}
+
+func TestAdviceForOwnershipViolation(t *testing.T) {
+	adv, dt := fixture(t)
+	target := corpus.RealWorldCases()[2].Build() // datadir wrong owner
+	report, err := dt.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice := adv.ForReport(report)
+	if len(advice) == 0 {
+		t.Fatal("no advice for a broken target")
+	}
+	found := false
+	for _, a := range advice {
+		if strings.Contains(a.Action, "chown") && strings.Contains(a.Action, "datadir") {
+			found = true
+			if a.Confidence != "high" {
+				t.Errorf("ownership fix should be high confidence, got %s", a.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no chown advice; got:\n%s", Render(advice))
+	}
+}
+
+func TestAdviceForNameTypo(t *testing.T) {
+	adv, _ := fixture(t)
+	w := &detect.Warning{
+		Kind:    detect.KindName,
+		Attr:    "mysql:mysqld/datadi",
+		Message: `entry "mysql:mysqld/datadi" was never seen in the training set (did you mean "mysql:mysqld/datadir"?)`,
+	}
+	a, ok := adv.ForWarning(w)
+	if !ok {
+		t.Fatal("no advice for a name typo")
+	}
+	if !strings.Contains(a.Action, "rename") || !strings.Contains(a.Action, "mysql:mysqld/datadir") {
+		t.Fatalf("action = %q", a.Action)
+	}
+	if a.Confidence != "high" {
+		t.Fatalf("confidence = %s", a.Confidence)
+	}
+	// Without a suggestion the advice degrades to verify/remove.
+	w2 := &detect.Warning{Kind: detect.KindName, Attr: "x", Message: "entry never seen"}
+	a2, ok := adv.ForWarning(w2)
+	if !ok || !strings.Contains(a2.Action, "remove or verify") {
+		t.Fatalf("fallback advice = %+v", a2)
+	}
+}
+
+func TestAdviceForEveryRuleTemplate(t *testing.T) {
+	adv, _ := fixture(t)
+	templates := []string{"owner", "eq", "match-one", "size-lt", "num-lt", "concat", "user-group", "not-access", "subnet", "bool-implies", "unknown-template"}
+	for _, tpl := range templates {
+		w := &detect.Warning{
+			Kind: detect.KindCorrelation,
+			Attr: "a",
+			Rule: &rules.Rule{Template: tpl, Spec: "[A] ? [B]", AttrA: "a", AttrB: "b"},
+		}
+		a, ok := adv.ForWarning(w)
+		if !ok || a.Action == "" || a.Confidence == "" {
+			t.Errorf("template %s: advice = %+v ok=%v", tpl, a, ok)
+		}
+	}
+	// A correlation warning without a rule gets no advice.
+	if _, ok := adv.ForWarning(&detect.Warning{Kind: detect.KindCorrelation}); ok {
+		t.Error("correlation advice requires a rule")
+	}
+}
+
+func TestAdviceForTypeViolation(t *testing.T) {
+	adv, _ := fixture(t)
+	w := &detect.Warning{
+		Kind:    detect.KindType,
+		Attr:    "mysql:mysqld/port",
+		Value:   "not-a-port",
+		Message: "value fails syntactic match for type PortNumber",
+	}
+	a, ok := adv.ForWarning(w)
+	if !ok || !strings.Contains(a.Action, "rewrite") {
+		t.Fatalf("syntactic advice = %+v", a)
+	}
+	// Constant training value gets quoted as the common value.
+	if !strings.Contains(a.Action, `"3306"`) {
+		t.Fatalf("expected common value hint: %q", a.Action)
+	}
+	w.Message = "value fails semantic verification for type FilePath"
+	a, _ = adv.ForWarning(w)
+	if !strings.Contains(a.Action, "missing object") {
+		t.Fatalf("semantic advice = %q", a.Action)
+	}
+}
+
+func TestAdviceForSuspiciousValue(t *testing.T) {
+	adv, _ := fixture(t)
+	// port is constant in training: the advice should say "restore".
+	w := &detect.Warning{Kind: detect.KindSuspicious, Attr: "mysql:mysqld/port", Value: "3307"}
+	a, ok := adv.ForWarning(w)
+	if !ok || !strings.Contains(a.Action, "restore") || a.Confidence != "high" {
+		t.Fatalf("constant-attr advice = %+v", a)
+	}
+	// datadir varies: advice lists alternatives.
+	w = &detect.Warning{Kind: detect.KindSuspicious, Attr: "mysql:mysqld/datadir", Value: "/weird"}
+	a, ok = adv.ForWarning(w)
+	if !ok || !strings.Contains(a.Action, "one of") {
+		t.Fatalf("varied-attr advice = %+v", a)
+	}
+	// Unknown attribute: no advice.
+	w = &detect.Warning{Kind: detect.KindSuspicious, Attr: "ghost", Value: "x"}
+	if _, ok := adv.ForWarning(w); ok {
+		t.Fatal("ghost attr should yield no advice")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render([]Advice{
+		{Action: "do a thing", Confidence: "high"},
+		{Action: "consider another", Confidence: "medium"},
+	})
+	if !strings.Contains(out, " 1. [high confidence] do a thing") ||
+		!strings.Contains(out, " 2. [medium confidence] consider another") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestUnknownKindNoAdvice(t *testing.T) {
+	adv, _ := fixture(t)
+	if _, ok := adv.ForWarning(&detect.Warning{Kind: detect.Kind("other")}); ok {
+		t.Fatal("unknown kind should yield no advice")
+	}
+}

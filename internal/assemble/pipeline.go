@@ -1,0 +1,206 @@
+package assemble
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/confparse"
+	"repro/internal/conftypes"
+	"repro/internal/dataset"
+	"repro/internal/sysimage"
+)
+
+// parsedImage pairs an image with its parsed configuration files.
+type parsedImage struct {
+	img   *sysimage.Image
+	files []*confparse.File
+}
+
+// attrName builds the canonical column name for an entry argument.
+// Single-value entries keep their entry name; multi-argument entries get
+// /argN positions ("LoadModule/arg2"); bare flags get the entry name with
+// the implicit value "on".
+func attrName(app string, e *confparse.Entry, argIdx, argCount int) string {
+	base := app + ":" + e.Name()
+	if argCount <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s/arg%d", base, argIdx+1)
+}
+
+// entryValues returns the (attribute name, value) pairs an entry
+// contributes.
+func entryValues(app string, e *confparse.Entry) [](struct{ Name, Value string }) {
+	var out [](struct{ Name, Value string })
+	if len(e.Values) == 0 {
+		out = append(out, struct{ Name, Value string }{attrName(app, e, 0, 1), "on"})
+		return out
+	}
+	for i, v := range e.Values {
+		out = append(out, struct{ Name, Value string }{attrName(app, e, i, len(e.Values)), v})
+	}
+	return out
+}
+
+func parseImages(images []*sysimage.Image) ([]parsedImage, error) {
+	parsed := make([]parsedImage, 0, len(images))
+	for _, img := range images {
+		pi := parsedImage{img: img}
+		for _, cf := range img.ConfigFiles {
+			f, err := confparse.Parse(cf.App, cf.Path, cf.Content)
+			if err != nil {
+				return nil, fmt.Errorf("assemble: image %s: %w", img.ID, err)
+			}
+			pi.files = append(pi.files, f)
+		}
+		parsed = append(parsed, pi)
+	}
+	return parsed, nil
+}
+
+// AssembleTraining builds the training dataset from a set of configured
+// images: it parses every configuration file, infers one semantic type per
+// attribute from all samples across the training set, and augments each row
+// with environment attributes.
+func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset, error) {
+	parsed, err := parseImages(images)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: collect samples per attribute for entry-level type
+	// inference.
+	samples := make(map[string][]conftypes.Sample)
+	var order []string
+	for _, pi := range parsed {
+		for _, f := range pi.files {
+			for _, e := range f.Entries {
+				for _, nv := range entryValues(f.App, e) {
+					if _, seen := samples[nv.Name]; !seen {
+						order = append(order, nv.Name)
+					}
+					samples[nv.Name] = append(samples[nv.Name], conftypes.Sample{Value: nv.Value, Image: pi.img})
+				}
+			}
+		}
+	}
+	types := make(map[string]conftypes.Type, len(samples))
+	for name, ss := range samples {
+		types[name] = a.Inferencer.InferEntryNamed(name, ss)
+	}
+
+	// Pass 2: build the dataset with augmentation.
+	d := dataset.New()
+	for _, name := range order {
+		d.DeclareAttr(name, types[name], false)
+	}
+	for _, pi := range parsed {
+		row := d.NewRow(pi.img.ID)
+		a.fillRow(d, row, pi, types)
+	}
+	return d, nil
+}
+
+// AssembleTarget assembles a single target image using the attribute types
+// learned during training. Attributes unseen in training are inferred from
+// the target's own context.
+func (a *Assembler) AssembleTarget(img *sysimage.Image, training *dataset.Dataset) (*dataset.Dataset, error) {
+	parsed, err := parseImages([]*sysimage.Image{img})
+	if err != nil {
+		return nil, err
+	}
+	pi := parsed[0]
+	types := make(map[string]conftypes.Type)
+	for _, f := range pi.files {
+		for _, e := range f.Entries {
+			for _, nv := range entryValues(f.App, e) {
+				if _, done := types[nv.Name]; done {
+					continue
+				}
+				if attr, ok := training.Attr(nv.Name); ok {
+					types[nv.Name] = attr.Type
+				} else {
+					types[nv.Name] = a.Inferencer.InferValue(nv.Value, img)
+				}
+			}
+		}
+	}
+	d := dataset.New()
+	// Copy training column declarations so checks can reference them even
+	// when absent on the target.
+	for _, attr := range training.Attributes() {
+		d.DeclareAttr(attr.Name, attr.Type, attr.Augmented)
+	}
+	for name, t := range types {
+		d.DeclareAttr(name, t, false)
+	}
+	row := d.NewRow(img.ID)
+	a.fillRow(d, row, pi, types)
+	return d, nil
+}
+
+// fillRow adds the original entries, the Table 5a augmented attributes, and
+// the Table 5b environment attributes for one image.
+func (a *Assembler) fillRow(d *dataset.Dataset, row *dataset.Row, pi parsedImage, types map[string]conftypes.Type) {
+	for _, f := range pi.files {
+		for _, e := range f.Entries {
+			for _, nv := range entryValues(f.App, e) {
+				d.DeclareAttr(nv.Name, types[nv.Name], false)
+				d.Add(row, nv.Name, nv.Value)
+				a.augment(d, row, nv.Name, nv.Value, types[nv.Name], pi.img)
+			}
+		}
+	}
+	for _, env := range a.envAttrs {
+		if v, ok := env.Compute(pi.img); ok {
+			d.DeclareAttr(env.Name, env.Type, true)
+			d.Add(row, env.Name, v)
+			d.SetType(env.Name, env.Type)
+		}
+	}
+}
+
+func (a *Assembler) augment(d *dataset.Dataset, row *dataset.Row, name, value string, t conftypes.Type, img *sysimage.Image) {
+	if a.SkipPatternValues && conftypes.LooksLikeRegexOrGlob(value) {
+		return
+	}
+	for _, aug := range a.augmenters[t] {
+		v, ok := aug.Compute(value, img)
+		if !ok {
+			continue
+		}
+		augName := name + "." + aug.Suffix
+		d.DeclareAttr(augName, aug.Type, true)
+		d.Add(row, augName, v)
+		d.SetType(augName, aug.Type)
+	}
+}
+
+// AppsIn lists the distinct applications configured in the images, sorted.
+func AppsIn(images []*sysimage.Image) []string {
+	set := map[string]bool{}
+	for _, img := range images {
+		for _, cf := range img.ConfigFiles {
+			set[cf.App] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for app := range set {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BaseEntryName strips the app prefix from an attribute name, recovering
+// the configuration entry name ("mysql:mysqld/datadir" ->
+// "mysqld/datadir"). Whether an attribute is augmented is recorded on the
+// dataset column, not encoded in the name (PHP entry names legitimately
+// contain dots, e.g. session.save_path).
+func BaseEntryName(attr string) string {
+	if i := strings.Index(attr, ":"); i >= 0 {
+		return attr[i+1:]
+	}
+	return attr
+}

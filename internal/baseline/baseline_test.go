@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assemble"
+	"repro/internal/dataset"
+	"repro/internal/sysimage"
+)
+
+func mkImage(id, datadir, packet string) *sysimage.Image {
+	im := sysimage.New(id)
+	im.Users["root"] = &sysimage.User{Name: "root", UID: 0, GID: 0, IsAdmin: true}
+	im.Users["mysql"] = &sysimage.User{Name: "mysql", UID: 27, GID: 27}
+	im.Groups["mysql"] = &sysimage.Group{Name: "mysql", GID: 27}
+	im.AddDir(datadir, "mysql", "mysql", 0o750)
+	im.SetConfig("mysql", "/etc/my.cnf", strings.Join([]string{
+		"[mysqld]",
+		"datadir = " + datadir,
+		"user = mysql",
+		"max_allowed_packet = " + packet,
+		"",
+	}, "\n"))
+	return im
+}
+
+func training(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	dirs := []string{"/var/lib/mysql", "/data/mysql", "/srv/mysql", "/u01/mysql"}
+	packets := []string{"16M", "32M"}
+	var images []*sysimage.Image
+	for i := 0; i < 12; i++ {
+		images = append(images, mkImage(string(rune('a'+i)), dirs[i%4], packets[i%2]))
+	}
+	d, err := assemble.New().AssembleTraining(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBaselineMissesPathDeviation(t *testing.T) {
+	// The key limitation the paper exploits: datadir varies widely in
+	// training, so a *new* path value gets a very low ICF score —
+	// and a wrong-owner misconfiguration is entirely invisible because
+	// values match.
+	d := training(t)
+	b := NewBaseline(d)
+	target := mkImage("t", "/var/lib/mysql", "16M")
+	target.Files["/var/lib/mysql"].Owner = "root" // Figure 1(b) error
+	findings, err := b.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Attr, "datadir") {
+			t.Fatalf("pure value comparison should see nothing wrong: %v", f.Message)
+		}
+	}
+}
+
+func TestBaselineEnvSeesOwnershipDeviation(t *testing.T) {
+	d := training(t)
+	be := NewBaselineEnv(d)
+	target := mkImage("t", "/var/lib/mysql", "16M")
+	target.Files["/var/lib/mysql"].Owner = "root"
+	findings, err := be.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FlaggedPrefix(findings, "mysql:mysqld/datadir") {
+		t.Fatalf("Baseline+Env should flag datadir.owner deviation; findings: %v", msgs(findings))
+	}
+	// Specifically the augmented owner attribute.
+	if !Flagged(findings, "mysql:mysqld/datadir.owner") {
+		t.Fatalf("datadir.owner not flagged; findings: %v", msgs(findings))
+	}
+}
+
+func TestBaselineFlagsValueDeviation(t *testing.T) {
+	d := training(t)
+	b := NewBaseline(d)
+	target := mkImage("t", "/var/lib/mysql", "999M")
+	findings, err := b.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Flagged(findings, "mysql:mysqld/max_allowed_packet") {
+		t.Fatalf("value deviation not flagged; findings: %v", msgs(findings))
+	}
+}
+
+func TestBaselineIgnoresUnseenEntry(t *testing.T) {
+	// An entry absent from the peer database has no value distribution;
+	// the statistical baseline says nothing about it. (EnCore's
+	// entry-name check is what catches misspellings.)
+	d := training(t)
+	b := NewBaseline(d)
+	target := mkImage("t", "/var/lib/mysql", "16M")
+	cfg := target.ConfigFor("mysql")
+	target.SetConfig("mysql", cfg.Path, cfg.Content+"novel_entry = 1\n")
+	findings, err := b.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Flagged(findings, "mysql:mysqld/novel_entry") {
+		t.Fatalf("unseen entry should not be flagged; findings: %v", msgs(findings))
+	}
+}
+
+func TestBaselineRankingStableEntriesFirst(t *testing.T) {
+	d := training(t)
+	b := NewBaseline(d)
+	// user was constant (cardinality 1), packet had 2 values: deviations
+	// on user must outrank deviations on packet.
+	target := mkImage("t", "/var/lib/mysql", "999M")
+	cfg := target.ConfigFor("mysql")
+	target.Users["other"] = &sysimage.User{Name: "other", UID: 50, GID: 50}
+	target.SetConfig("mysql", cfg.Path, strings.Replace(cfg.Content, "user = mysql", "user = other", 1))
+	findings, err := b.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var userRank, packetRank int
+	for _, f := range findings {
+		switch f.Attr {
+		case "mysql:mysqld/user":
+			userRank = f.Rank
+		case "mysql:mysqld/max_allowed_packet":
+			packetRank = f.Rank
+		}
+	}
+	if userRank == 0 || packetRank == 0 {
+		t.Fatalf("expected both findings; got %v", msgs(findings))
+	}
+	if userRank >= packetRank {
+		t.Fatalf("stable entry rank %d should beat volatile entry rank %d", userRank, packetRank)
+	}
+}
+
+func TestBaselineCleanTarget(t *testing.T) {
+	d := training(t)
+	for _, det := range []*Detector{NewBaseline(d), NewBaselineEnv(d)} {
+		findings, err := det.Check(mkImage("t", "/var/lib/mysql", "16M"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			if strings.HasPrefix(f.Attr, "mysql:") {
+				t.Fatalf("clean target flagged: %v", f.Message)
+			}
+		}
+	}
+}
+
+func TestBaselineParseError(t *testing.T) {
+	d := training(t)
+	b := NewBaseline(d)
+	bad := mkImage("t", "/var/lib/mysql", "16M")
+	bad.SetConfig("mysql", "/etc/my.cnf", "[broken\n")
+	if _, err := b.Check(bad); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}
+
+func TestFlaggedHelpers(t *testing.T) {
+	fs := []*Finding{{Attr: "a.owner"}, {Attr: "b"}}
+	if !Flagged(fs, "b") || Flagged(fs, "c") {
+		t.Fatal("Flagged wrong")
+	}
+	if !FlaggedPrefix(fs, "a") || FlaggedPrefix(fs, "ab") {
+		t.Fatal("FlaggedPrefix wrong")
+	}
+}
+
+func msgs(fs []*Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Attr + ": " + f.Message
+	}
+	return out
+}

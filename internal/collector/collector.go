@@ -1,0 +1,275 @@
+// Package collector implements EnCore's data collector (Figure 2) for real
+// filesystem trees: given the root of an extracted system image (a mounted
+// VM image, a container filesystem, a chroot), it gathers everything the
+// assembler needs — file metadata, accounts, services, OS facts, and the
+// application configuration files — into a sysimage.Image.
+//
+// Ownership is resolved against the *image's own* /etc/passwd and
+// /etc/group (by uid/gid), not the host's, so a tree extracted by any user
+// still reports the accounts the image knows about.
+package collector
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/sysimage"
+)
+
+// Options configures a collection run.
+type Options struct {
+	// Apps maps application names to their primary configuration file,
+	// relative to the root (e.g. "mysql" -> "etc/my.cnf").
+	Apps map[string]string
+	// ExtraConfigs lists additional configuration fragments per app
+	// (include files), relative to the root.
+	ExtraConfigs map[string][]string
+	// MaxFiles bounds the number of file-system entries collected
+	// (0 = DefaultMaxFiles). The paper's collector gathers full metadata;
+	// the bound keeps pathological trees from exhausting memory.
+	MaxFiles int
+	// SkipDirs lists directory names to skip entirely (defaults to
+	// proc, sys, dev).
+	SkipDirs []string
+}
+
+// DefaultMaxFiles bounds collection on unbounded trees.
+const DefaultMaxFiles = 200_000
+
+// Collect walks the tree rooted at root and builds a system image.
+func Collect(root, id string, opts Options) (*sysimage.Image, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("collector: %s is not a directory", root)
+	}
+	img := sysimage.New(id)
+
+	// Accounts first: file ownership resolves against them.
+	uidNames, gidNames := map[int]string{}, map[int]string{}
+	if err := collectPasswd(img, filepath.Join(root, "etc/passwd"), uidNames); err != nil {
+		return nil, err
+	}
+	if err := collectGroup(img, filepath.Join(root, "etc/group"), gidNames); err != nil {
+		return nil, err
+	}
+	if err := collectServices(img, filepath.Join(root, "etc/services")); err != nil {
+		return nil, err
+	}
+	collectOSRelease(img, filepath.Join(root, "etc/os-release"))
+
+	skip := map[string]bool{"proc": true, "sys": true, "dev": true}
+	for _, d := range opts.SkipDirs {
+		skip[d] = true
+	}
+	maxFiles := opts.MaxFiles
+	if maxFiles <= 0 {
+		maxFiles = DefaultMaxFiles
+	}
+
+	count := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return nil // unreadable entries are simply not collected
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil || rel == "." {
+			return nil
+		}
+		if d.IsDir() && skip[d.Name()] && filepath.Dir(rel) == "." {
+			return fs.SkipDir
+		}
+		if count >= maxFiles {
+			return fs.SkipAll
+		}
+		count++
+		meta := fileMeta("/"+filepath.ToSlash(rel), path, d, uidNames, gidNames)
+		img.AddFile(meta)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("collector: walk: %w", err)
+	}
+
+	for app, rel := range opts.Apps {
+		content, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			return nil, fmt.Errorf("collector: %s config: %w", app, err)
+		}
+		img.SetConfig(app, "/"+filepath.ToSlash(rel), string(content))
+		for _, extra := range opts.ExtraConfigs[app] {
+			data, err := os.ReadFile(filepath.Join(root, extra))
+			if err != nil {
+				return nil, fmt.Errorf("collector: %s fragment %s: %w", app, extra, err)
+			}
+			img.AddConfig(app, "/"+filepath.ToSlash(extra), string(data))
+		}
+	}
+	return img, nil
+}
+
+// fileMeta converts one directory entry to image metadata, resolving
+// ownership through the image's account tables.
+func fileMeta(imgPath, hostPath string, d fs.DirEntry, uids, gids map[int]string) sysimage.FileMeta {
+	meta := sysimage.FileMeta{Path: imgPath, Owner: "root", Group: "root"}
+	info, err := d.Info()
+	if err != nil {
+		return meta
+	}
+	meta.Mode = uint32(info.Mode().Perm())
+	meta.Size = info.Size()
+	switch {
+	case d.Type()&fs.ModeSymlink != 0:
+		meta.Kind = sysimage.KindSymlink
+		if target, err := os.Readlink(hostPath); err == nil {
+			meta.Target = target
+		}
+	case d.IsDir():
+		meta.Kind = sysimage.KindDir
+	default:
+		meta.Kind = sysimage.KindFile
+	}
+	if st, ok := info.Sys().(*syscall.Stat_t); ok {
+		if name, ok := uids[int(st.Uid)]; ok {
+			meta.Owner = name
+		}
+		if name, ok := gids[int(st.Gid)]; ok {
+			meta.Group = name
+		}
+	}
+	return meta
+}
+
+// collectPasswd parses an /etc/passwd file into the image's user table.
+// A missing file is not an error (minimal trees).
+func collectPasswd(img *sysimage.Image, path string, uidNames map[int]string) error {
+	lines, err := readLines(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("collector: passwd: %w", err)
+	}
+	for _, line := range lines {
+		f := strings.Split(line, ":")
+		if len(f) < 7 {
+			continue
+		}
+		uid, err1 := strconv.Atoi(f[2])
+		gid, err2 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		img.Users[f[0]] = &sysimage.User{
+			Name: f[0], UID: uid, GID: gid, Home: f[5], Shell: f[6],
+			IsAdmin: uid == 0,
+		}
+		uidNames[uid] = f[0]
+	}
+	return nil
+}
+
+// collectGroup parses an /etc/group file into the image's group table.
+func collectGroup(img *sysimage.Image, path string, gidNames map[int]string) error {
+	lines, err := readLines(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("collector: group: %w", err)
+	}
+	for _, line := range lines {
+		f := strings.Split(line, ":")
+		if len(f) < 4 {
+			continue
+		}
+		gid, err := strconv.Atoi(f[2])
+		if err != nil {
+			continue
+		}
+		g := &sysimage.Group{Name: f[0], GID: gid}
+		if f[3] != "" {
+			g.Members = strings.Split(f[3], ",")
+		}
+		img.Groups[f[0]] = g
+		gidNames[gid] = f[0]
+	}
+	return nil
+}
+
+// collectServices parses an /etc/services file.
+func collectServices(img *sysimage.Image, path string) error {
+	lines, err := readLines(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("collector: services: %w", err)
+	}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		portProto := strings.SplitN(fields[1], "/", 2)
+		if len(portProto) != 2 {
+			continue
+		}
+		port, err := strconv.Atoi(portProto[0])
+		if err != nil {
+			continue
+		}
+		img.Services = append(img.Services, sysimage.Service{
+			Name: fields[0], Port: port, Protocol: portProto[1],
+		})
+	}
+	return nil
+}
+
+// collectOSRelease fills OS facts from /etc/os-release; absence is fine.
+func collectOSRelease(img *sysimage.Image, path string) {
+	lines, err := readLines(path)
+	if err != nil {
+		return
+	}
+	for _, line := range lines {
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		value = strings.Trim(value, `"`)
+		switch key {
+		case "ID":
+			img.OS.DistName = value
+		case "VERSION_ID":
+			img.OS.Version = value
+		}
+	}
+}
+
+// readLines reads a small text file and returns its non-comment lines.
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}

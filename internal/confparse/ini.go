@@ -1,0 +1,101 @@
+package confparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// INIDialect parses the INI family used by MySQL (my.cnf) and PHP
+// (php.ini): [section] headers, key = value lines, bare boolean flags
+// (MySQL's skip-networking), and configurable comment markers.
+type INIDialect struct {
+	commentMarkers []string
+}
+
+// NewINIDialect returns an INI dialect using the given comment markers
+// (e.g. "#" and ";").
+func NewINIDialect(markers ...string) *INIDialect {
+	if len(markers) == 0 {
+		markers = []string{"#", ";"}
+	}
+	return &INIDialect{commentMarkers: markers}
+}
+
+// Name implements Dialect.
+func (d *INIDialect) Name() string { return "ini" }
+
+// Parse implements Dialect.
+func (d *INIDialect) Parse(content string) ([]*Entry, error) {
+	var entries []*Entry
+	section := ""
+	for lineNo, raw := range strings.Split(content, "\n") {
+		line := raw
+		for _, m := range d.commentMarkers {
+			line = stripComment(line, m)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("line %d: unterminated section header %q", lineNo+1, line)
+			}
+			section = strings.TrimSpace(line[1 : len(line)-1])
+			if section == "" {
+				return nil, fmt.Errorf("line %d: empty section header", lineNo+1)
+			}
+			continue
+		}
+		key, value, hasValue := strings.Cut(line, "=")
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, fmt.Errorf("line %d: missing key", lineNo+1)
+		}
+		e := &Entry{Section: section, Key: key, Line: lineNo + 1}
+		if hasValue {
+			e.Values = []string{unquote(strings.TrimSpace(value))}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Render implements Dialect, grouping entries under section headers in
+// first-appearance order.
+func (d *INIDialect) Render(entries []*Entry) string {
+	var b strings.Builder
+	current := ""
+	first := true
+	for _, e := range entries {
+		if e.Section != current || first {
+			if e.Section != "" && (e.Section != current || first) {
+				if !first {
+					b.WriteString("\n")
+				}
+				fmt.Fprintf(&b, "[%s]\n", e.Section)
+			}
+			current = e.Section
+		}
+		first = false
+		if len(e.Values) == 0 {
+			fmt.Fprintf(&b, "%s\n", e.Key)
+		} else {
+			v := e.Value()
+			if strings.ContainsAny(v, " \t") || v == "" {
+				v = `"` + v + `"`
+			}
+			fmt.Fprintf(&b, "%s = %s\n", e.Key, v)
+		}
+	}
+	return b.String()
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conftypes"
+)
+
+// ApacheOptions tunes Apache image generation.
+type ApacheOptions struct {
+	Hardware bool
+	// SymlinkInDocroot plants a symbolic link in the document root (used
+	// by real-world case #6; clean training images never have one).
+	SymlinkInDocroot bool
+	// LimitRequestBody, when positive, emits a LimitRequestBody directive
+	// with this byte count (the LAMP stack couples it to PHP's upload
+	// limits).
+	LimitRequestBody int64
+}
+
+// BuildApache generates one coherent Apache httpd image.
+func (b *Builder) BuildApache(opts ApacheOptions) {
+	b.SetOS()
+	if opts.Hardware {
+		b.SetHardware()
+	}
+	img := b.Img
+	rng := b.Rng
+
+	user := PickWeighted(rng, []string{"apache", "www-data", "nobody"}, []int{5, 3, 2})
+	if user != "nobody" {
+		b.AddAccount(user, 48)
+	}
+
+	serverRoot := Pick(rng, []string{"/etc/httpd", "/etc/apache2"})
+	img.AddDir(serverRoot, "root", "root", 0o755)
+	img.AddDir(serverRoot+"/conf", "root", "root", 0o755)
+	img.AddDir(serverRoot+"/modules", "root", "root", 0o755)
+
+	modules := [][2]string{
+		{"php5_module", "modules/libphp5.so"},
+		{"rewrite_module", "modules/mod_rewrite.so"},
+		{"ssl_module", "modules/mod_ssl.so"},
+		{"alias_module", "modules/mod_alias.so"},
+	}
+	nMods := 2 + rng.Intn(3)
+	for i := 0; i < nMods; i++ {
+		img.AddRegular(serverRoot+"/"+modules[i][1], "root", "root", 0o755, int64(rng.Intn(512)+64)<<10)
+	}
+
+	docRoot := Pick(rng, []string{"/var/www/html", "/var/www", "/srv/www/htdocs"})
+	img.AddDir(docRoot, "root", user, 0o755)
+	img.AddRegular(docRoot+"/index.html", "root", user, 0o644, 1024)
+	if opts.SymlinkInDocroot {
+		img.AddSymlink(docRoot+"/shared", "/opt", "root", user)
+	}
+
+	// The upload area is owned by the serving user so visitors can upload
+	// (real-world case #7 breaks this).
+	uploadDir := docRoot + "/uploads"
+	img.AddDir(uploadDir, user, user, 0o775)
+
+	errorLog := Pick(rng, []string{"/var/log/httpd/error_log", "/var/log/apache2/error.log"})
+	img.AddRegular(errorLog, "root", "root", 0o644, int64(rng.Intn(4))<<20)
+	pidFile := "/var/run/httpd.pid"
+	img.AddRegular(pidFile, "root", "root", 0o644, 8)
+
+	listen := PickWeighted(rng, []string{"80", "8080"}, []int{8, 2})
+
+	// Worker tuning: MinSpareServers < MaxSpareServers < MaxClients holds
+	// by construction.
+	minSpare := Pick(rng, []int{5, 10})
+	maxSpare := minSpare * (2 + rng.Intn(2))
+	maxClients := Pick(rng, []int{150, 256, 512})
+	startServers := minSpare
+	timeout := Pick(rng, []int{60, 120, 300})
+	keepAlive := PickWeighted(rng, []string{"On", "Off"}, []int{7, 3})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ServerRoot %q\n", serverRoot)
+	fmt.Fprintf(&sb, "Listen %s\n", listen)
+	fmt.Fprintf(&sb, "User %s\n", user)
+	fmt.Fprintf(&sb, "Group %s\n", user)
+	fmt.Fprintf(&sb, "ServerAdmin root@localhost\n")
+	fmt.Fprintf(&sb, "DocumentRoot %q\n", docRoot)
+	fmt.Fprintf(&sb, "ErrorLog %s\n", errorLog)
+	fmt.Fprintf(&sb, "PidFile %s\n", pidFile)
+	fmt.Fprintf(&sb, "Timeout %d\n", timeout)
+	fmt.Fprintf(&sb, "KeepAlive %s\n", keepAlive)
+	fmt.Fprintf(&sb, "HostnameLookups Off\n") // constant across the fleet
+	fmt.Fprintf(&sb, "StartServers %d\n", startServers)
+	fmt.Fprintf(&sb, "MinSpareServers %d\n", minSpare)
+	fmt.Fprintf(&sb, "MaxSpareServers %d\n", maxSpare)
+	fmt.Fprintf(&sb, "MaxClients %d\n", maxClients)
+	// About half the fleet keeps module loading in an included conf.d
+	// fragment — the multi-file layout real distributions ship. Both the
+	// main file and the fragment are captured; the Include argument itself
+	// is a PartialFilePath correlated with ServerRoot (concat template).
+	includeModules := Chance(rng, 0.5)
+	var frag strings.Builder
+	for i := 0; i < nMods; i++ {
+		if includeModules {
+			fmt.Fprintf(&frag, "LoadModule %s %s\n", modules[i][0], modules[i][1])
+		} else {
+			fmt.Fprintf(&sb, "LoadModule %s %s\n", modules[i][0], modules[i][1])
+		}
+	}
+	if includeModules {
+		fmt.Fprintf(&sb, "Include conf.d/modules.conf\n")
+	}
+	fmt.Fprintf(&sb, "DirectoryIndex index.html\n")
+	fmt.Fprintf(&sb, "Alias /uploads/ %s\n", uploadDir)
+	if opts.LimitRequestBody > 0 {
+		fmt.Fprintf(&sb, "LimitRequestBody %d\n", opts.LimitRequestBody)
+	}
+	// The root directory is locked down; the document root gets its own
+	// section (the correlation behind real-world case #1).
+	sb.WriteString("<Directory />\n")
+	sb.WriteString("    AllowOverride None\n")
+	sb.WriteString("    Require all denied\n")
+	sb.WriteString("</Directory>\n")
+	fmt.Fprintf(&sb, "<Directory %q>\n", docRoot)
+	fmt.Fprintf(&sb, "    Options %s\n", Pick(rng, []string{"Indexes", "None"}))
+	sb.WriteString("    AllowOverride None\n")
+	sb.WriteString("    Require all granted\n")
+	sb.WriteString("</Directory>\n")
+
+	img.SetConfig("apache", serverRoot+"/conf/httpd.conf", sb.String())
+	if includeModules {
+		img.AddDir(serverRoot+"/conf.d", "root", "root", 0o755)
+		img.AddRegular(serverRoot+"/conf.d/modules.conf", "root", "root", 0o644, int64(frag.Len()))
+		img.AddConfig("apache", serverRoot+"/conf.d/modules.conf", frag.String())
+	}
+}
+
+// ApacheEntryTypes is the ground-truth semantic type of each Apache
+// attribute the generator can emit.
+func ApacheEntryTypes() map[string]conftypes.Type {
+	return map[string]conftypes.Type{
+		"apache:ServerRoot":       conftypes.TypeFilePath,
+		"apache:Listen":           conftypes.TypePortNumber,
+		"apache:User":             conftypes.TypeUserName,
+		"apache:Group":            conftypes.TypeGroupName,
+		"apache:ServerAdmin":      conftypes.TypeString,
+		"apache:DocumentRoot":     conftypes.TypeFilePath,
+		"apache:ErrorLog":         conftypes.TypeFilePath,
+		"apache:PidFile":          conftypes.TypeFilePath,
+		"apache:Timeout":          conftypes.TypeNumber,
+		"apache:KeepAlive":        conftypes.TypeBoolean,
+		"apache:HostnameLookups":  conftypes.TypeBoolean,
+		"apache:StartServers":     conftypes.TypeNumber,
+		"apache:MinSpareServers":  conftypes.TypeNumber,
+		"apache:MaxSpareServers":  conftypes.TypeNumber,
+		"apache:MaxClients":       conftypes.TypeNumber,
+		"apache:LoadModule/arg1":  conftypes.TypeString,
+		"apache:LoadModule/arg2":  conftypes.TypePartialFilePath,
+		"apache:DirectoryIndex":   conftypes.TypeFileName,
+		"apache:Alias/arg1":       conftypes.TypeString,
+		"apache:Alias/arg2":       conftypes.TypeFilePath,
+		"apache:LimitRequestBody": conftypes.TypeNumber,
+		"apache:Include":          conftypes.TypePartialFilePath,
+		"apache:Directory":        conftypes.TypeFilePath,
+	}
+}
+
+// ApacheTrueRules lists correlations that hold by construction in clean
+// Apache images.
+func ApacheTrueRules() []TrueRule {
+	return []TrueRule{
+		{Template: "concat", AttrA: "apache:ServerRoot", AttrB: "apache:LoadModule/arg2"},
+		{Template: "concat", AttrA: "apache:ServerRoot", AttrB: "apache:Include"},
+		{Template: "eq", AttrA: "apache:Group", AttrB: "apache:User"},
+		{Template: "match-one", AttrA: "apache:User", AttrB: "apache:Group"},
+		{Template: "match-one", AttrA: "apache:Group", AttrB: "apache:User"},
+		{Template: "match-one", AttrA: "apache:DocumentRoot", AttrB: "apache:Directory"},
+		{Template: "match-one", AttrA: "apache:Directory", AttrB: "apache:DocumentRoot"},
+		{Template: "num-lt", AttrA: "apache:MinSpareServers", AttrB: "apache:MaxSpareServers"},
+		{Template: "num-lt", AttrA: "apache:MinSpareServers", AttrB: "apache:MaxClients"},
+		{Template: "num-lt", AttrA: "apache:MaxSpareServers", AttrB: "apache:MaxClients"},
+		{Template: "num-lt", AttrA: "apache:StartServers", AttrB: "apache:MaxClients"},
+		{Template: "num-lt", AttrA: "apache:StartServers", AttrB: "apache:MaxSpareServers"},
+		{Template: "substr", AttrA: "apache:DocumentRoot", AttrB: "apache:Alias/arg2"},
+		{Template: "user-group", AttrA: "apache:User", AttrB: "apache:Group"},
+		{Template: "owner", AttrA: "apache:Alias/arg2", AttrB: "apache:User"},
+	}
+}

@@ -1,0 +1,135 @@
+// Package corpus synthesizes system-image populations that stand in for
+// the paper's Amazon EC2 and private-cloud image sets.
+//
+// Each generated image is internally coherent: the environment (file
+// system, accounts, services, OS facts) is built to match the generated
+// configuration, so the correlations EnCore is supposed to learn — user
+// owns datadir, modules live under ServerRoot, upload limits are ordered —
+// genuinely hold in clean images. Value distributions vary realistically
+// across a population (several data directories, two or three size
+// settings, a minority of differently named service accounts), because the
+// learner's filters are calibrated against exactly that kind of diversity.
+//
+// The generator is fully deterministic for a given seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sysimage"
+)
+
+// Builder accumulates one image under construction.
+type Builder struct {
+	Img *sysimage.Image
+	Rng *rand.Rand
+}
+
+// NewBuilder returns a builder for an image with the standard base system
+// (root account, common system users, core directories).
+func NewBuilder(id string, rng *rand.Rand) *Builder {
+	im := sysimage.New(id)
+	im.Users["root"] = &sysimage.User{Name: "root", UID: 0, GID: 0, Home: "/root", Shell: "/bin/bash", IsAdmin: true}
+	im.Users["daemon"] = &sysimage.User{Name: "daemon", UID: 2, GID: 2, Shell: "/sbin/nologin"}
+	im.Users["nobody"] = &sysimage.User{Name: "nobody", UID: 99, GID: 99, Shell: "/sbin/nologin"}
+	im.Groups["root"] = &sysimage.Group{Name: "root", GID: 0}
+	im.Groups["daemon"] = &sysimage.Group{Name: "daemon", GID: 2}
+	im.Groups["nobody"] = &sysimage.Group{Name: "nobody", GID: 99}
+	im.Services = []sysimage.Service{
+		{Name: "ssh", Port: 22, Protocol: "tcp"},
+		{Name: "http", Port: 80, Protocol: "tcp"},
+		{Name: "https", Port: 443, Protocol: "tcp"},
+		{Name: "mysql", Port: 3306, Protocol: "tcp"},
+		{Name: "http-alt", Port: 8080, Protocol: "tcp"},
+	}
+	for _, d := range []string{"/etc", "/var", "/var/log", "/var/run", "/tmp", "/usr", "/usr/lib", "/home", "/srv", "/opt", "/data"} {
+		im.AddDir(d, "root", "root", 0o755)
+	}
+	im.Files["/tmp"].Mode = 0o777
+	return &Builder{Img: im, Rng: rng}
+}
+
+// Pick returns a uniformly random element.
+func Pick[T any](rng *rand.Rand, options []T) T {
+	return options[rng.Intn(len(options))]
+}
+
+// PickWeighted returns options[i] with probability weights[i]/sum(weights).
+func PickWeighted[T any](rng *rand.Rand, options []T, weights []int) T {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := rng.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return options[i]
+		}
+		n -= w
+	}
+	return options[len(options)-1]
+}
+
+// Chance reports true with probability p.
+func Chance(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// AddAccount creates a service user and same-named group.
+func (b *Builder) AddAccount(name string, uid int) {
+	b.Img.Users[name] = &sysimage.User{Name: name, UID: uid, GID: uid, Home: "/var/lib/" + name, Shell: "/sbin/nologin"}
+	b.Img.Groups[name] = &sysimage.Group{Name: name, GID: uid}
+}
+
+// distro captures the OS-level diversity in a population.
+type distro struct {
+	name     string
+	versions []string
+	fsType   string
+}
+
+var distros = []distro{
+	{name: "amazon-linux", versions: []string{"2012.03", "2013.09"}, fsType: "ext4"},
+	{name: "centos", versions: []string{"5.8", "6.3", "6.4"}, fsType: "ext4"},
+	{name: "ubuntu", versions: []string{"10.04", "12.04"}, fsType: "ext4"},
+	{name: "debian", versions: []string{"6.0", "7.0"}, fsType: "ext3"},
+}
+
+// SetOS picks a distribution and fills the OS facts. AppArmor confinement
+// follows the Ubuntu/Debian convention. Composed builders (the LAMP stack)
+// call the per-app generators on one image; the first SetOS wins so the
+// stack shares a single OS identity.
+func (b *Builder) SetOS() {
+	if b.Img.OS.DistName != "" {
+		return
+	}
+	d := Pick(b.Rng, distros)
+	selinux := "disabled"
+	if d.name == "centos" && Chance(b.Rng, 0.5) {
+		selinux = Pick(b.Rng, []string{"enforcing", "permissive"})
+	}
+	b.Img.OS = sysimage.OSInfo{
+		DistName:  d.name,
+		Version:   Pick(b.Rng, d.versions),
+		SELinux:   selinux,
+		AppArmor:  (d.name == "ubuntu" || d.name == "debian") && Chance(b.Rng, 0.6),
+		FSType:    d.fsType,
+		HostName:  fmt.Sprintf("ip-10-%d-%d-%d", b.Rng.Intn(256), b.Rng.Intn(256), b.Rng.Intn(254)+1),
+		IPAddress: fmt.Sprintf("10.%d.%d.%d", b.Rng.Intn(4), b.Rng.Intn(256), b.Rng.Intn(254)+1),
+	}
+}
+
+// SetHardware attaches a hardware specification (running instances only;
+// dormant EC2 template images do not have one).
+func (b *Builder) SetHardware() {
+	cores := Pick(b.Rng, []int{1, 2, 4, 8})
+	b.Img.HW = sysimage.Hardware{
+		Present:    true,
+		CPUCores:   cores,
+		CPUThreads: cores * 2,
+		CPUFreqMHz: Pick(b.Rng, []int{1800, 2000, 2400, 2600}),
+		MemBytes:   int64(Pick(b.Rng, []int{1, 2, 4, 8, 16})) << 30,
+		DiskBytes:  int64(Pick(b.Rng, []int{20, 50, 100, 200})) << 30,
+	}
+}

@@ -1,0 +1,76 @@
+package corpus
+
+import (
+	"regexp"
+	"strings"
+
+	"repro/internal/conftypes"
+)
+
+// sectionScopedTypes types entries that appear inside dynamic sections
+// (Apache <Directory> blocks), keyed by "Key" or "Key/argN" independent of
+// the enclosing section path.
+var sectionScopedTypes = map[string]conftypes.Type{
+	"Options":       conftypes.TypeString,
+	"AllowOverride": conftypes.TypeString,
+	"Require":       conftypes.TypeString,
+	"Require/arg1":  conftypes.TypeString,
+	"Require/arg2":  conftypes.TypeString,
+	"Limit":         conftypes.TypeString,
+}
+
+var argSuffix = regexp.MustCompile(`^arg\d+$`)
+
+// GroundTruthType returns the expected semantic type for a generated
+// attribute, consulting the app's exact map first and falling back to the
+// section-scoped key patterns.
+func GroundTruthType(app, attr string) (conftypes.Type, bool) {
+	var exact map[string]conftypes.Type
+	switch app {
+	case "apache":
+		exact = ApacheEntryTypes()
+	case "mysql":
+		exact = MySQLEntryTypes()
+	case "php":
+		exact = PHPEntryTypes()
+	case "sshd":
+		exact = SSHDEntryTypes()
+	default:
+		return "", false
+	}
+	if t, ok := exact[attr]; ok {
+		return t, true
+	}
+	// Strip the app prefix and extract "Key" or "Key/argN" from the tail
+	// of the section-scoped name.
+	name := attr
+	if i := strings.Index(name, ":"); i >= 0 {
+		name = name[i+1:]
+	}
+	segs := strings.Split(name, "/")
+	if len(segs) == 0 {
+		return "", false
+	}
+	key := segs[len(segs)-1]
+	if argSuffix.MatchString(key) && len(segs) >= 2 {
+		key = segs[len(segs)-2] + "/" + key
+	}
+	if t, ok := sectionScopedTypes[key]; ok {
+		return t, true
+	}
+	return "", false
+}
+
+// GroundTruthRules returns the ground-truth correlations for an app.
+func GroundTruthRules(app string) []TrueRule {
+	switch app {
+	case "apache":
+		return ApacheTrueRules()
+	case "mysql":
+		return MySQLTrueRules()
+	case "php":
+		return PHPTrueRules()
+	default:
+		return nil
+	}
+}

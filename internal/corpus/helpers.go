@@ -1,0 +1,77 @@
+package corpus
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/confparse"
+	"repro/internal/sysimage"
+)
+
+var errMissingEntry = errors.New("corpus: entry not found in configuration")
+
+// findConfValue parses the app's configuration inside the image and
+// returns the first value of the entry with the given key.
+func findConfValue(img *sysimage.Image, app, key string) (string, bool) {
+	cf := img.ConfigFor(app)
+	if cf == nil {
+		return "", false
+	}
+	f, err := confparse.Parse(app, cf.Path, cf.Content)
+	if err != nil {
+		return "", false
+	}
+	es := f.FindKey(key)
+	if len(es) == 0 || len(es[0].Values) == 0 {
+		return "", false
+	}
+	return es[0].Values[0], true
+}
+
+// confValueAt parses raw configuration content and returns the argument at
+// argIdx (0-based) of the first entry with the given key.
+func confValueAt(content, app, path, key string, argIdx int) (string, error) {
+	f, err := confparse.Parse(app, path, content)
+	if err != nil {
+		return "", err
+	}
+	es := f.FindKey(key)
+	if len(es) == 0 || len(es[0].Values) <= argIdx {
+		return "", errMissingEntry
+	}
+	return es[0].Values[argIdx], nil
+}
+
+// replaceValue substitutes the first occurrence of old with new in a raw
+// configuration text.
+func replaceValue(content, old, new string) string {
+	return strings.Replace(content, old, new, 1)
+}
+
+// replaceLine replaces the whole line whose trimmed text starts with
+// prefix (followed by a separator) with the replacement line.
+func replaceLine(content, prefix, replacement string) string {
+	lines := strings.Split(content, "\n")
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, prefix) {
+			rest := t[len(prefix):]
+			if rest == "" || rest[0] == ' ' || rest[0] == '=' || rest[0] == '\t' {
+				lines[i] = replacement
+				break
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// removeLine deletes the first line whose trimmed text starts with prefix.
+func removeLine(content, prefix string) string {
+	lines := strings.Split(content, "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), prefix) {
+			return strings.Join(append(lines[:i:i], lines[i+1:]...), "\n")
+		}
+	}
+	return content
+}

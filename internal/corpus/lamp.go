@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/conftypes"
+	"repro/internal/sysimage"
+)
+
+// BuildLAMP generates one coherent full-stack image with Apache, MySQL,
+// and PHP configured together. This is the paper's future-work extension
+// made concrete: "the configuration of other components can be seen as one
+// kind of environment factors." Because the assembler namespaces
+// attributes per application and the rule engine is type-driven, the
+// existing templates learn *cross-component* rules from these images with
+// no new machinery:
+//
+//   - php:PHP/mysqli.default_socket == mysql:mysqld/socket (the web tier
+//     must talk to the local database's actual socket),
+//   - php:Session/session.save_path => apache:User (the web server
+//     account owns the session store),
+//   - php:PHP/upload_max_filesize below apache:LimitRequestBody (requests
+//     Apache refuses can never reach PHP's upload handler).
+func (b *Builder) BuildLAMP() error {
+	img := b.Img
+	b.SetOS()
+
+	// The request-body ceiling is chosen first so the PHP limits generated
+	// below (at most 32M post size) always fit under it.
+	limitBody := int64(Pick(b.Rng, []int{64, 128, 256})) << 20
+	b.BuildApache(ApacheOptions{LimitRequestBody: limitBody})
+	apacheUser, ok := findConfValue(img, "apache", "User")
+	if !ok {
+		return fmt.Errorf("corpus: LAMP build lost the Apache user")
+	}
+
+	b.BuildMySQL(MySQLOptions{})
+	socket, ok := findConfValue(img, "mysql", "socket")
+	if !ok {
+		return fmt.Errorf("corpus: LAMP build lost the MySQL socket")
+	}
+
+	b.BuildPHP(PHPOptions{MySQLSocket: socket, SessionOwner: apacheUser})
+	return nil
+}
+
+// LAMPTraining generates n clean LAMP-stack images.
+func LAMPTraining(n int, seed int64) ([]*sysimage.Image, error) {
+	rng := rand.New(rand.NewSource(seed))
+	images := make([]*sysimage.Image, 0, n)
+	for i := 0; i < n; i++ {
+		b := NewBuilder(fmt.Sprintf("lamp-train-%03d", i), rng)
+		if err := b.BuildLAMP(); err != nil {
+			return nil, err
+		}
+		images = append(images, b.Img)
+	}
+	return images, nil
+}
+
+// LAMPTrueRules lists the cross-component correlations that hold by
+// construction in clean LAMP images (in addition to each component's own
+// TrueRules).
+func LAMPTrueRules() []TrueRule {
+	return []TrueRule{
+		{Template: "eq", AttrA: "mysql:mysqld/socket", AttrB: "php:PHP/mysqli.default_socket"},
+		{Template: "match-one", AttrA: "mysql:mysqld/socket", AttrB: "php:PHP/mysqli.default_socket"},
+		{Template: "match-one", AttrA: "php:PHP/mysqli.default_socket", AttrB: "mysql:mysqld/socket"},
+		{Template: "eq", AttrA: "mysql:client/socket", AttrB: "php:PHP/mysqli.default_socket"},
+		{Template: "match-one", AttrA: "mysql:client/socket", AttrB: "php:PHP/mysqli.default_socket"},
+		{Template: "match-one", AttrA: "php:PHP/mysqli.default_socket", AttrB: "mysql:client/socket"},
+		{Template: "owner", AttrA: "php:Session/session.save_path", AttrB: "apache:User"},
+		{Template: "substr", AttrA: "mysql:mysqld/datadir", AttrB: "php:PHP/mysqli.default_socket"},
+	}
+}
+
+// LAMPEntryTypes merges the per-component ground-truth types.
+func LAMPEntryTypes() map[string]conftypes.Type {
+	out := map[string]conftypes.Type{}
+	for _, m := range []map[string]conftypes.Type{ApacheEntryTypes(), MySQLEntryTypes(), PHPEntryTypes()} {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// BreakLAMPSocket clones a LAMP image and points PHP's
+// mysqli.default_socket at a stale path — the classic "web tier cannot
+// reach the database after the datadir moved" cross-component failure.
+func BreakLAMPSocket(img *sysimage.Image) *sysimage.Image {
+	c := img.Clone()
+	c.ID = img.ID + "-broken-socket"
+	cf := c.ConfigFor("php")
+	old, ok := findConfValue(c, "php", "mysqli.default_socket")
+	if ok {
+		c.SetConfig("php", cf.Path, replaceValue(cf.Content, old, "/var/run/mysqld/mysqld.sock"))
+	}
+	return c
+}
+
+// BreakLAMPSessionOwner clones a LAMP image and chowns the PHP session
+// directory away from the Apache account.
+func BreakLAMPSessionOwner(img *sysimage.Image) *sysimage.Image {
+	c := img.Clone()
+	c.ID = img.ID + "-broken-session"
+	if dir, ok := findConfValue(c, "php", "session.save_path"); ok {
+		if fm := c.Lookup(dir); fm != nil {
+			fm.Owner = "root"
+			fm.Group = "root"
+			fm.Mode = 0o700
+		}
+	}
+	return c
+}

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conftypes"
+)
+
+// MySQLOptions tunes MySQL image generation.
+type MySQLOptions struct {
+	// Hardware attaches a hardware spec and sizes memory-dependent
+	// options against it (running-instance crawl).
+	Hardware bool
+}
+
+// BuildMySQL generates one coherent MySQL image.
+func (b *Builder) BuildMySQL(opts MySQLOptions) {
+	b.SetOS()
+	if opts.Hardware {
+		b.SetHardware()
+	}
+	img := b.Img
+	rng := b.Rng
+
+	user := PickWeighted(rng, []string{"mysql", "mysqld"}, []int{5, 1})
+	b.AddAccount(user, 27)
+
+	datadir := Pick(rng, []string{"/var/lib/mysql", "/data/mysql", "/srv/mysql", "/opt/mysql/data"})
+	img.AddDir(datadir, user, user, uint32(Pick(rng, []int{0o750, 0o700})))
+	img.AddRegular(datadir+"/ibdata1", user, user, 0o660, int64(rng.Intn(64)+1)<<20)
+	img.AddDir(datadir+"/mysql", user, user, 0o700)
+
+	socket := datadir + "/mysql.sock"
+	img.AddRegular(socket, user, user, 0o777, 0)
+
+	logFile := Pick(rng, []string{"/var/log/mysqld.log", "/var/log/mysql.log"})
+	// Best practice in the population: the log is not world readable
+	// because it can contain sensitive data (the Table 10 finding).
+	img.AddRegular(logFile, user, user, 0o640, int64(rng.Intn(8))<<20)
+
+	pidFile := "/var/run/mysqld.pid"
+	img.AddRegular(pidFile, user, user, 0o644, 16)
+
+	tmpdir := "/tmp"
+
+	port := 3306
+	bind := PickWeighted(rng, []string{"127.0.0.1", img.OS.IPAddress, "0.0.0.0"}, []int{4, 3, 3})
+
+	// Ordered size pair: net_buffer_length is the protocol floor and is
+	// effectively never tuned (constant — the entropy-filter FN example),
+	// max_allowed_packet varies.
+	netBuf := "8K"
+	packet := Pick(rng, []string{"1M", "16M", "32M", "64M"})
+	keyBuf := Pick(rng, []string{"8M", "16M", "32M"})
+
+	// Memory-coupled option: on running instances it is sized below the
+	// machine memory. Dormant template images carry whatever the config
+	// was copied from, across a wide spread of machine sizes — which is
+	// precisely why, without hardware information, a heap equal to the
+	// target's memory is indistinguishable from a legitimate setting
+	// (real-world case #8 is missed for this reason).
+	heap := Pick(rng, []string{"16M", "64M", "256M", "1G", "8G"})
+	if opts.Hardware {
+		heap = conftypes.FormatSize(img.HW.MemBytes / int64(Pick(rng, []int{8, 16, 32})))
+	}
+
+	maxConn := Pick(rng, []string{"100", "151", "200", "500"})
+
+	var sb strings.Builder
+	sb.WriteString("[mysqld]\n")
+	fmt.Fprintf(&sb, "datadir = %s\n", datadir)
+	fmt.Fprintf(&sb, "user = %s\n", user)
+	fmt.Fprintf(&sb, "port = %d\n", port)
+	fmt.Fprintf(&sb, "bind-address = %s\n", bind)
+	fmt.Fprintf(&sb, "socket = %s\n", socket)
+	fmt.Fprintf(&sb, "log-error = %s\n", logFile)
+	fmt.Fprintf(&sb, "pid-file = %s\n", pidFile)
+	fmt.Fprintf(&sb, "tmpdir = %s\n", tmpdir)
+	fmt.Fprintf(&sb, "max_allowed_packet = %s\n", packet)
+	fmt.Fprintf(&sb, "net_buffer_length = %s\n", netBuf)
+	fmt.Fprintf(&sb, "key_buffer_size = %s\n", keyBuf)
+	fmt.Fprintf(&sb, "max_heap_table_size = %s\n", heap)
+	fmt.Fprintf(&sb, "max_connections = %s\n", maxConn)
+	if Chance(rng, 0.3) {
+		sb.WriteString("skip-external-locking\n")
+	}
+	if Chance(rng, 0.15) {
+		sb.WriteString("skip-networking\n")
+	}
+	sb.WriteString("\n[client]\n")
+	fmt.Fprintf(&sb, "socket = %s\n", socket)
+
+	img.SetConfig("mysql", "/etc/my.cnf", sb.String())
+}
+
+// MySQLEntryTypes is the ground-truth semantic type of each MySQL
+// attribute the generator can emit (Table 11 reference).
+func MySQLEntryTypes() map[string]conftypes.Type {
+	return map[string]conftypes.Type{
+		"mysql:mysqld/datadir":               conftypes.TypeFilePath,
+		"mysql:mysqld/user":                  conftypes.TypeUserName,
+		"mysql:mysqld/port":                  conftypes.TypePortNumber,
+		"mysql:mysqld/bind-address":          conftypes.TypeIPAddress,
+		"mysql:mysqld/socket":                conftypes.TypeFilePath,
+		"mysql:mysqld/log-error":             conftypes.TypeFilePath,
+		"mysql:mysqld/pid-file":              conftypes.TypeFilePath,
+		"mysql:mysqld/tmpdir":                conftypes.TypeFilePath,
+		"mysql:mysqld/max_allowed_packet":    conftypes.TypeSize,
+		"mysql:mysqld/net_buffer_length":     conftypes.TypeSize,
+		"mysql:mysqld/key_buffer_size":       conftypes.TypeSize,
+		"mysql:mysqld/max_heap_table_size":   conftypes.TypeSize,
+		"mysql:mysqld/max_connections":       conftypes.TypeNumber,
+		"mysql:mysqld/skip-external-locking": conftypes.TypeBoolean,
+		"mysql:mysqld/skip-networking":       conftypes.TypeBoolean,
+		"mysql:client/socket":                conftypes.TypeFilePath,
+	}
+}
+
+// MySQLTrueRules lists the correlations that genuinely hold by
+// construction in clean MySQL images: the ground truth against which
+// inferred rules are classified for Table 12.
+func MySQLTrueRules() []TrueRule {
+	return []TrueRule{
+		{Template: "owner", AttrA: "mysql:mysqld/datadir", AttrB: "mysql:mysqld/user"},
+		{Template: "owner", AttrA: "mysql:mysqld/socket", AttrB: "mysql:mysqld/user"},
+		{Template: "owner", AttrA: "mysql:mysqld/log-error", AttrB: "mysql:mysqld/user"},
+		{Template: "owner", AttrA: "mysql:mysqld/pid-file", AttrB: "mysql:mysqld/user"},
+		{Template: "eq", AttrA: "mysql:client/socket", AttrB: "mysql:mysqld/socket"},
+		{Template: "match-one", AttrA: "mysql:client/socket", AttrB: "mysql:mysqld/socket"},
+		{Template: "match-one", AttrA: "mysql:mysqld/socket", AttrB: "mysql:client/socket"},
+		{Template: "size-lt", AttrA: "mysql:mysqld/net_buffer_length", AttrB: "mysql:mysqld/max_allowed_packet"},
+		{Template: "substr", AttrA: "mysql:mysqld/datadir", AttrB: "mysql:mysqld/socket"},
+		{Template: "substr", AttrA: "mysql:mysqld/datadir", AttrB: "mysql:client/socket"},
+		{Template: "size-lt", AttrA: "mysql:mysqld/max_heap_table_size", AttrB: "MemSize"},
+	}
+}
+
+// TrueRule is a ground-truth correlation key.
+type TrueRule struct {
+	Template string
+	AttrA    string
+	AttrB    string
+}
+
+// Matches reports whether a learned rule corresponds to this ground truth.
+func (t TrueRule) Matches(template, attrA, attrB string) bool {
+	return t.Template == template && t.AttrA == attrA && t.AttrB == attrB
+}

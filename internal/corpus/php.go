@@ -1,0 +1,130 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conftypes"
+)
+
+// PHPOptions tunes PHP image generation.
+type PHPOptions struct {
+	Hardware bool
+	// MySQLSocket, when set, emits mysqli.default_socket pointing at the
+	// co-installed MySQL's socket (the LAMP cross-component correlation).
+	MySQLSocket string
+	// SessionOwner, when set, chowns the session directory to this user
+	// (the LAMP stack sets it to the Apache service account).
+	SessionOwner string
+}
+
+// BuildPHP generates one coherent PHP image.
+func (b *Builder) BuildPHP(opts PHPOptions) {
+	b.SetOS()
+	if opts.Hardware {
+		b.SetHardware()
+	}
+	img := b.Img
+	rng := b.Rng
+
+	extDir := Pick(rng, []string{
+		"/usr/lib/php/modules",
+		"/usr/lib64/php/modules",
+		"/usr/lib/php5/20090626",
+	})
+	img.AddDir(extDir, "root", "root", 0o755)
+	for _, so := range []string{"mysql.so", "gd.so", "json.so"} {
+		img.AddRegular(extDir+"/"+so, "root", "root", 0o755, int64(rng.Intn(256)+32)<<10)
+	}
+
+	sessionDir := Pick(rng, []string{"/var/lib/php/session", "/tmp"})
+	if opts.SessionOwner != "" {
+		sessionDir = "/var/lib/php/session"
+	}
+	if sessionDir != "/tmp" {
+		owner := "root"
+		group := "apache"
+		if opts.SessionOwner != "" {
+			owner, group = opts.SessionOwner, opts.SessionOwner
+		}
+		img.AddDir(sessionDir, owner, group, 0o770)
+		if _, ok := img.Users[group]; !ok {
+			b.AddAccount(group, 48)
+		}
+	}
+
+	errorLog := "/var/log/php_errors.log"
+	img.AddRegular(errorLog, "root", "root", 0o644, int64(rng.Intn(2))<<20)
+
+	includePath := ".:/usr/share/pear:/usr/share/php"
+
+	// Ordered size chain: upload_max_filesize < post_max_size <=
+	// memory_limit holds by construction in clean images.
+	upload := Pick(rng, []int{2, 8, 16})
+	post := upload * 2
+	memory := post * Pick(rng, []int{2, 4})
+
+	maxExec := Pick(rng, []string{"30", "60", "120"})
+	displayErrors := PickWeighted(rng, []string{"Off", "On"}, []int{8, 2})
+
+	var sb strings.Builder
+	sb.WriteString("[PHP]\n")
+	sb.WriteString("engine = On\n")
+	fmt.Fprintf(&sb, "short_open_tag = %s\n", PickWeighted(rng, []string{"Off", "On"}, []int{6, 4}))
+	fmt.Fprintf(&sb, "output_buffering = %s\n", Pick(rng, []string{"4096", "Off"}))
+	fmt.Fprintf(&sb, "date.timezone = %s\n", Pick(rng, []string{"UTC", "America/Los_Angeles", "Europe/Berlin"}))
+	fmt.Fprintf(&sb, "extension_dir = %q\n", extDir)
+	fmt.Fprintf(&sb, "include_path = %q\n", includePath)
+	fmt.Fprintf(&sb, "error_log = %s\n", errorLog)
+	fmt.Fprintf(&sb, "error_reporting = 10\n") // constant warning level
+	fmt.Fprintf(&sb, "display_errors = %s\n", displayErrors)
+	fmt.Fprintf(&sb, "max_execution_time = %s\n", maxExec)
+	fmt.Fprintf(&sb, "memory_limit = %dM\n", memory)
+	fmt.Fprintf(&sb, "post_max_size = %dM\n", post)
+	fmt.Fprintf(&sb, "upload_max_filesize = %dM\n", upload)
+	fmt.Fprintf(&sb, "file_uploads = On\n")
+	fmt.Fprintf(&sb, "expose_php = %s\n", PickWeighted(rng, []string{"Off", "On"}, []int{7, 3}))
+	if opts.MySQLSocket != "" {
+		fmt.Fprintf(&sb, "mysqli.default_socket = %s\n", opts.MySQLSocket)
+	}
+	sb.WriteString("\n[Session]\n")
+	fmt.Fprintf(&sb, "session.save_path = %q\n", sessionDir)
+	fmt.Fprintf(&sb, "session.gc_maxlifetime = %s\n", Pick(rng, []string{"1440", "3600"}))
+
+	img.SetConfig("php", "/etc/php.ini", sb.String())
+}
+
+// PHPEntryTypes is the ground-truth semantic type of each PHP attribute
+// the generator can emit.
+func PHPEntryTypes() map[string]conftypes.Type {
+	return map[string]conftypes.Type{
+		"php:PHP/engine":                     conftypes.TypeBoolean,
+		"php:PHP/short_open_tag":             conftypes.TypeBoolean,
+		"php:PHP/output_buffering":           conftypes.TypeString,
+		"php:PHP/date.timezone":              conftypes.TypeString,
+		"php:PHP/extension_dir":              conftypes.TypeFilePath,
+		"php:PHP/mysqli.default_socket":      conftypes.TypeFilePath,
+		"php:PHP/include_path":               conftypes.TypeString,
+		"php:PHP/error_log":                  conftypes.TypeFilePath,
+		"php:PHP/error_reporting":            conftypes.TypeNumber,
+		"php:PHP/display_errors":             conftypes.TypeBoolean,
+		"php:PHP/max_execution_time":         conftypes.TypeNumber,
+		"php:PHP/memory_limit":               conftypes.TypeSize,
+		"php:PHP/post_max_size":              conftypes.TypeSize,
+		"php:PHP/upload_max_filesize":        conftypes.TypeSize,
+		"php:PHP/file_uploads":               conftypes.TypeBoolean,
+		"php:PHP/expose_php":                 conftypes.TypeBoolean,
+		"php:Session/session.save_path":      conftypes.TypeFilePath,
+		"php:Session/session.gc_maxlifetime": conftypes.TypeNumber,
+	}
+}
+
+// PHPTrueRules lists correlations that hold by construction in clean PHP
+// images.
+func PHPTrueRules() []TrueRule {
+	return []TrueRule{
+		{Template: "size-lt", AttrA: "php:PHP/upload_max_filesize", AttrB: "php:PHP/post_max_size"},
+		{Template: "size-lt", AttrA: "php:PHP/upload_max_filesize", AttrB: "php:PHP/memory_limit"},
+		{Template: "size-lt", AttrA: "php:PHP/post_max_size", AttrB: "php:PHP/memory_limit"},
+	}
+}

@@ -1,0 +1,258 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sysimage"
+)
+
+// Training population sizes matching the paper (Section 7): 127 Apache
+// images, 187 MySQL images, 123 PHP images.
+const (
+	TrainingApache = 127
+	TrainingMySQL  = 187
+	TrainingPHP    = 123
+)
+
+// BuildApp generates one clean image for app (with optional hardware).
+func BuildApp(app, id string, rng *rand.Rand, hardware bool) (*sysimage.Image, error) {
+	b := NewBuilder(id, rng)
+	switch app {
+	case "apache":
+		b.BuildApache(ApacheOptions{Hardware: hardware})
+	case "mysql":
+		b.BuildMySQL(MySQLOptions{Hardware: hardware})
+	case "php":
+		b.BuildPHP(PHPOptions{Hardware: hardware})
+	case "sshd":
+		b.BuildSSHD(SSHDOptions{Hardware: hardware})
+	default:
+		return nil, fmt.Errorf("corpus: unknown app %q", app)
+	}
+	return b.Img, nil
+}
+
+// Training generates n clean training images for app. Dormant EC2 template
+// images have no hardware specification, matching the paper's crawl.
+func Training(app string, n int, seed int64) ([]*sysimage.Image, error) {
+	rng := rand.New(rand.NewSource(seed))
+	images := make([]*sysimage.Image, 0, n)
+	for i := 0; i < n; i++ {
+		img, err := BuildApp(app, fmt.Sprintf("%s-train-%03d", app, i), rng, false)
+		if err != nil {
+			return nil, err
+		}
+		images = append(images, img)
+	}
+	return images, nil
+}
+
+// ByID indexes images by their ID.
+func ByID(images []*sysimage.Image) map[string]*sysimage.Image {
+	m := make(map[string]*sysimage.Image, len(images))
+	for _, im := range images {
+		m[im.ID] = im
+	}
+	return m
+}
+
+// Latent is a ground-truth latent misconfiguration planted in a target
+// population (Table 10 categories).
+type Latent struct {
+	ImageID  string
+	Category string // "FilePath", "Permission", "ValueCompare"
+	Attr     string
+	Desc     string
+}
+
+// TargetPopulation is a generated target set with its ground truth.
+type TargetPopulation struct {
+	Images []*sysimage.Image
+	Truth  []Latent
+}
+
+// categoryMix drives how many issues of each category a population gets.
+type categoryMix struct {
+	filePath     int
+	permission   int
+	valueCompare int
+}
+
+// EC2Mix and PrivateCloudMix reproduce Table 10's category skew: EC2
+// template images are dominated by value-comparison violations, while the
+// long-deployed private cloud mostly shows file-path drift.
+var (
+	EC2Mix          = categoryMix{filePath: 3, permission: 10, valueCompare: 24}
+	PrivateCloudMix = categoryMix{filePath: 10, permission: 3, valueCompare: 11}
+)
+
+// EC2Targets generates a 120-image EC2-like target population with the
+// EC2Mix of latent issues concentrated on 25 images (the paper found its
+// 37 EC2 issues in 25 images — some images carry several).
+func EC2Targets(seed int64) (*TargetPopulation, error) {
+	return targets("ec2", 120, seed, EC2Mix, false, 25)
+}
+
+// PrivateCloudTargets generates a 300-image private-cloud-like population
+// with the PrivateCloudMix of latent issues concentrated on 22 images.
+// Private-cloud instances are running systems, so they carry hardware
+// specifications.
+func PrivateCloudTargets(seed int64) (*TargetPopulation, error) {
+	return targets("pc", 300, seed, PrivateCloudMix, true, 22)
+}
+
+func targets(prefix string, n int, seed int64, mix categoryMix, hardware bool, spread int) (*TargetPopulation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	apps := []string{"apache", "mysql", "php"}
+	pop := &TargetPopulation{}
+	for i := 0; i < n; i++ {
+		app := apps[i%len(apps)]
+		img, err := BuildApp(app, fmt.Sprintf("%s-%s-%03d", prefix, app, i), rng, hardware)
+		if err != nil {
+			return nil, err
+		}
+		pop.Images = append(pop.Images, img)
+	}
+	// Plant issues on a bounded set of randomly chosen images: the cursor
+	// wraps after `spread` distinct images, so later issues land on
+	// already-affected images (with a different category) just as the
+	// paper's populations carried several issues per affected image.
+	order := rng.Perm(n)
+	if spread <= 0 || spread > n {
+		spread = n
+	}
+	cursor := 0
+	nextImage := func() *sysimage.Image {
+		im := pop.Images[order[cursor%spread]]
+		cursor++
+		return im
+	}
+	for i := 0; i < mix.permission; i++ {
+		if l, ok := plantPermission(nextImage(), rng); ok {
+			pop.Truth = append(pop.Truth, l)
+		} else {
+			i--
+		}
+	}
+	for i := 0; i < mix.filePath; i++ {
+		if l, ok := plantFilePath(nextImage(), rng); ok {
+			pop.Truth = append(pop.Truth, l)
+		} else {
+			i--
+		}
+	}
+	for i := 0; i < mix.valueCompare; i++ {
+		if l, ok := plantValueCompare(nextImage(), rng); ok {
+			pop.Truth = append(pop.Truth, l)
+		} else {
+			i--
+		}
+	}
+	return pop, nil
+}
+
+// plantPermission introduces a permission/ownership issue appropriate to
+// the image's app.
+func plantPermission(img *sysimage.Image, rng *rand.Rand) (Latent, bool) {
+	switch {
+	case img.ConfigFor("mysql") != nil:
+		f, ok := findConfValue(img, "mysql", "log-error")
+		if !ok {
+			return Latent{}, false
+		}
+		if fm := img.Lookup(f); fm != nil {
+			fm.Mode = 0o644 // world-readable MySQL log: the security finding
+			return Latent{ImageID: img.ID, Category: "Permission", Attr: "mysql:mysqld/log-error",
+				Desc: "MySQL log file readable by other users (sensitive data exposure)"}, true
+		}
+	case img.ConfigFor("apache") != nil:
+		cf := img.ConfigFor("apache")
+		f, err := confValueAt(cf.Content, "apache", cf.Path, "Alias", 1)
+		if err != nil {
+			return Latent{}, false
+		}
+		if fm := img.Lookup(f); fm != nil {
+			fm.Owner = "root"
+			fm.Mode = 0o755
+			return Latent{ImageID: img.ID, Category: "Permission", Attr: "apache:Alias/arg2",
+				Desc: "upload directory not writable by the Apache user"}, true
+		}
+	case img.ConfigFor("php") != nil:
+		f, ok := findConfValue(img, "php", "session.save_path")
+		if !ok || f == "/tmp" {
+			return Latent{}, false
+		}
+		if fm := img.Lookup(f); fm != nil {
+			fm.Mode = 0o700
+			fm.Group = "root"
+			return Latent{ImageID: img.ID, Category: "Permission", Attr: "php:Session/session.save_path",
+				Desc: "session directory not accessible to the web server"}, true
+		}
+	}
+	return Latent{}, false
+}
+
+// plantFilePath breaks a path configuration: the configured object is
+// missing or of the wrong kind.
+func plantFilePath(img *sysimage.Image, rng *rand.Rand) (Latent, bool) {
+	switch {
+	case img.ConfigFor("php") != nil:
+		cf := img.ConfigFor("php")
+		old, ok := findConfValue(img, "php", "extension_dir")
+		if !ok {
+			return Latent{}, false
+		}
+		img.SetConfig("php", cf.Path, replaceValue(cf.Content, old, "/usr/lib/php/modules-old"))
+		return Latent{ImageID: img.ID, Category: "FilePath", Attr: "php:PHP/extension_dir",
+			Desc: "extension_dir points to a non-existent directory"}, true
+	case img.ConfigFor("mysql") != nil:
+		cf := img.ConfigFor("mysql")
+		old, ok := findConfValue(img, "mysql", "tmpdir")
+		if !ok {
+			return Latent{}, false
+		}
+		img.SetConfig("mysql", cf.Path, replaceValue(cf.Content, old, "/var/tmp/mysql"))
+		return Latent{ImageID: img.ID, Category: "FilePath", Attr: "mysql:mysqld/tmpdir",
+			Desc: "tmpdir points to a non-existent directory"}, true
+	case img.ConfigFor("apache") != nil:
+		cf := img.ConfigFor("apache")
+		old, ok := findConfValue(img, "apache", "ErrorLog")
+		if !ok {
+			return Latent{}, false
+		}
+		img.SetConfig("apache", cf.Path, replaceValue(cf.Content, old, "/var/log/httpd-missing/error_log"))
+		return Latent{ImageID: img.ID, Category: "FilePath", Attr: "apache:ErrorLog",
+			Desc: "ErrorLog directory does not exist"}, true
+	}
+	return Latent{}, false
+}
+
+// plantValueCompare violates an ordering correlation.
+func plantValueCompare(img *sysimage.Image, rng *rand.Rand) (Latent, bool) {
+	switch {
+	case img.ConfigFor("php") != nil:
+		cf := img.ConfigFor("php")
+		post, ok := findConfValue(img, "php", "post_max_size")
+		if !ok {
+			return Latent{}, false
+		}
+		// upload_max_filesize jumps above post_max_size: uploads of
+		// allowed-size files fail (the paper's PHP finding).
+		img.SetConfig("php", cf.Path, replaceLine(cf.Content, "upload_max_filesize", "upload_max_filesize = 1G"))
+		_ = post
+		return Latent{ImageID: img.ID, Category: "ValueCompare", Attr: "php:PHP/upload_max_filesize",
+			Desc: "upload_max_filesize exceeds post_max_size"}, true
+	case img.ConfigFor("apache") != nil:
+		cf := img.ConfigFor("apache")
+		img.SetConfig("apache", cf.Path, replaceLine(cf.Content, "MinSpareServers", "MinSpareServers 600"))
+		return Latent{ImageID: img.ID, Category: "ValueCompare", Attr: "apache:MinSpareServers",
+			Desc: "MinSpareServers exceeds MaxSpareServers/MaxClients"}, true
+	case img.ConfigFor("mysql") != nil:
+		cf := img.ConfigFor("mysql")
+		img.SetConfig("mysql", cf.Path, replaceLine(cf.Content, "max_allowed_packet", "max_allowed_packet = 4K"))
+		return Latent{ImageID: img.ID, Category: "ValueCompare", Attr: "mysql:mysqld/max_allowed_packet",
+			Desc: "max_allowed_packet below net_buffer_length"}, true
+	}
+	return Latent{}, false
+}

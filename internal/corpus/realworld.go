@@ -1,0 +1,211 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/sysimage"
+)
+
+// Case is one of the ten real-world misconfiguration cases of Table 9,
+// reconstructed as a concrete target image exhibiting the same problem.
+type Case struct {
+	ID int
+	// App the misconfiguration lives in.
+	App string
+	// Problem summarizes the failure the misconfiguration causes.
+	Problem string
+	// Info is the information class the paper says the detection needs:
+	// "Corr", "Env", or "Env + Corr".
+	Info string
+	// PaperRank and PaperTotal are the rank and warning count the paper
+	// reports ("1(5)" -> 1, 5); 0 means the paper missed the case.
+	PaperRank, PaperTotal int
+	// ExpectMiss marks case #8, which is missed because the dormant
+	// training images carry no hardware information.
+	ExpectMiss bool
+	// MatchAttr is the attribute a warning must reference (possibly via an
+	// augmented or argument suffix) to count as detecting the case.
+	MatchAttr string
+	// Build constructs the target image.
+	Build func() *sysimage.Image
+}
+
+// caseRng gives each case its own deterministic randomness.
+func caseRng(id int) *rand.Rand { return rand.New(rand.NewSource(int64(1000 + id))) }
+
+// RealWorldCases reconstructs the ten ServerFault cases of Table 9.
+func RealWorldCases() []Case {
+	return []Case{
+		{
+			ID: 1, App: "apache", Info: "Corr", PaperRank: 1, PaperTotal: 5,
+			Problem:   "Website not granted desired protection because DocumentRoot has no related Directory section",
+			MatchAttr: "apache:DocumentRoot",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-1", caseRng(1))
+				b.BuildApache(ApacheOptions{})
+				cf := b.Img.ConfigFor("apache")
+				doc, _ := findConfValue(b.Img, "apache", "DocumentRoot")
+				b.Img.SetConfig("apache", cf.Path, removeSection(cf.Content, fmt.Sprintf("<Directory %q>", doc)))
+				return b.Img
+			},
+		},
+		{
+			ID: 2, App: "php", Info: "Env", PaperRank: 1, PaperTotal: 1,
+			Problem:   "Does not connect to database because extension_dir points to a file instead of the directory",
+			MatchAttr: "php:PHP/extension_dir",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-2", caseRng(2))
+				b.BuildPHP(PHPOptions{})
+				cf := b.Img.ConfigFor("php")
+				old, _ := findConfValue(b.Img, "php", "extension_dir")
+				b.Img.SetConfig("php", cf.Path, replaceValue(cf.Content, old, old+"/mysql.so"))
+				return b.Img
+			},
+		},
+		{
+			ID: 3, App: "mysql", Info: "Env + Corr", PaperRank: 1, PaperTotal: 1,
+			Problem:   "File creation error due to datadir's wrong owner",
+			MatchAttr: "mysql:mysqld/datadir",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-3", caseRng(3))
+				b.BuildMySQL(MySQLOptions{})
+				dd, _ := findConfValue(b.Img, "mysql", "datadir")
+				b.Img.Files[dd].Owner = "root"
+				b.Img.Files[dd].Group = "root"
+				return b.Img
+			},
+		},
+		{
+			ID: 4, App: "mysql", Info: "Env", PaperRank: 1, PaperTotal: 2,
+			Problem:   "Data writing error due to undesired protection from AppArmor",
+			MatchAttr: "mysql:mysqld/datadir",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-4", caseRng(4))
+				b.BuildMySQL(MySQLOptions{})
+				// The AppArmor profile denies writes to the relocated data
+				// directory. The paper's collector sees this as the
+				// effective protection on the directory; we model the
+				// denial as a read-only effective mode on datadir.
+				b.Img.OS.AppArmor = true
+				dd, _ := findConfValue(b.Img, "mysql", "datadir")
+				b.Img.Files[dd].Mode = 0o555
+				return b.Img
+			},
+		},
+		{
+			ID: 5, App: "php", Info: "Env", PaperRank: 1, PaperTotal: 1,
+			Problem:   "Modules not loaded because extension_dir is set to a wrong location",
+			MatchAttr: "php:PHP/extension_dir",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-5", caseRng(5))
+				b.BuildPHP(PHPOptions{})
+				cf := b.Img.ConfigFor("php")
+				old, _ := findConfValue(b.Img, "php", "extension_dir")
+				b.Img.SetConfig("php", cf.Path, replaceValue(cf.Content, old, "/usr/local/lib/php/extensions"))
+				return b.Img
+			},
+		},
+		{
+			ID: 6, App: "apache", Info: "Env + Corr", PaperRank: 1, PaperTotal: 3,
+			Problem:   "Website unavailable because the document root contains symbolic links while FollowSymLinks is off",
+			MatchAttr: "apache:DocumentRoot",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-6", caseRng(6))
+				b.BuildApache(ApacheOptions{SymlinkInDocroot: true})
+				return b.Img
+			},
+		},
+		{
+			ID: 7, App: "apache", Info: "Env + Corr", PaperRank: 1, PaperTotal: 1,
+			Problem:   "Website visitors unable to upload files due to wrong permission for the Apache user",
+			MatchAttr: "apache:Alias/arg2",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-7", caseRng(7))
+				b.BuildApache(ApacheOptions{})
+				cf := b.Img.ConfigFor("apache")
+				up, err := confValueAt(cf.Content, "apache", cf.Path, "Alias", 1)
+				if err == nil {
+					b.Img.Files[up].Owner = "root"
+					b.Img.Files[up].Group = "root"
+					b.Img.Files[up].Mode = 0o755
+				}
+				return b.Img
+			},
+		},
+		{
+			ID: 8, App: "mysql", Info: "Env + Corr", ExpectMiss: true,
+			Problem:   "Out-of-memory error because the allowed table size equals the machine's memory",
+			MatchAttr: "mysql:mysqld/max_heap_table_size",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-8", caseRng(8))
+				b.BuildMySQL(MySQLOptions{Hardware: true})
+				// The heap limit equals the machine memory: a value that
+				// also occurs on (bigger) training machines, so without
+				// hardware info in the training set nothing is anomalous.
+				cf := b.Img.ConfigFor("mysql")
+				b.Img.HW.MemBytes = 8 << 30
+				b.Img.SetConfig("mysql", cf.Path,
+					replaceLine(cf.Content, "max_heap_table_size", "max_heap_table_size = 8G"))
+				return b.Img
+			},
+		},
+		{
+			ID: 9, App: "mysql", Info: "Env + Corr", PaperRank: 1, PaperTotal: 1,
+			Problem:   "Logging is not performed even though the entry is set correctly, due to wrong permission",
+			MatchAttr: "mysql:mysqld/log-error",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-9", caseRng(9))
+				b.BuildMySQL(MySQLOptions{})
+				lf, _ := findConfValue(b.Img, "mysql", "log-error")
+				b.Img.Files[lf].Owner = "root"
+				b.Img.Files[lf].Group = "root"
+				b.Img.Files[lf].Mode = 0o600
+				return b.Img
+			},
+		},
+		{
+			ID: 10, App: "php", Info: "Corr", PaperRank: 2, PaperTotal: 2,
+			Problem:   "Failure when uploading a large file due to the wrong setting of the file size limits",
+			MatchAttr: "php:PHP/upload_max_filesize",
+			Build: func() *sysimage.Image {
+				b := NewBuilder("rw-case-10", caseRng(10))
+				b.BuildPHP(PHPOptions{})
+				cf := b.Img.ConfigFor("php")
+				// upload_max_filesize exceeds post_max_size; the same file
+				// also carries a second, higher-confidence violation
+				// (memory_limit below post_max_size), which outranks this
+				// one — the reason the paper reports rank 2 of 2.
+				content := replaceLine(cf.Content, "upload_max_filesize", "upload_max_filesize = 64M")
+				content = replaceLine(content, "memory_limit", "memory_limit = 4M")
+				b.Img.SetConfig("php", cf.Path, content)
+				return b.Img
+			},
+		},
+	}
+}
+
+// removeSection deletes the block starting at the line equal to header
+// through its matching close tag.
+func removeSection(content, header string) string {
+	lines := strings.Split(content, "\n")
+	start := -1
+	for i, line := range lines {
+		if strings.TrimSpace(line) == header {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return content
+	}
+	kind := strings.Fields(strings.Trim(header, "<>"))[0]
+	closeTag := "</" + kind + ">"
+	for j := start + 1; j < len(lines); j++ {
+		if strings.TrimSpace(lines[j]) == closeTag {
+			return strings.Join(append(lines[:start:start], lines[j+1:]...), "\n")
+		}
+	}
+	return content
+}

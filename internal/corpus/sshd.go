@@ -1,0 +1,74 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/conftypes"
+)
+
+// SSHDOptions tunes sshd image generation.
+type SSHDOptions struct {
+	Hardware bool
+}
+
+// BuildSSHD generates one coherent sshd image (sshd is part of the Table 1
+// study but not of the paper's detection evaluation; it is included so the
+// full study reproduces).
+func (b *Builder) BuildSSHD(opts SSHDOptions) {
+	b.SetOS()
+	if opts.Hardware {
+		b.SetHardware()
+	}
+	img := b.Img
+	rng := b.Rng
+
+	b.AddAccount("sshd", 74)
+	img.AddDir("/var/empty/sshd", "root", "root", 0o711)
+	img.AddRegular("/etc/ssh/sshd_config", "root", "root", 0o600, 3000)
+	img.AddRegular("/usr/lib/openssh/sftp-server", "root", "root", 0o755, 65536)
+	hostKey := "/etc/ssh/ssh_host_rsa_key"
+	img.AddRegular(hostKey, "root", "root", 0o600, 1679)
+
+	port := PickWeighted(rng, []string{"22", "2222"}, []int{9, 1})
+	permitRoot := PickWeighted(rng, []string{"no", "without-password", "yes"}, []int{6, 3, 1})
+	passAuth := PickWeighted(rng, []string{"yes", "no"}, []int{5, 5})
+	x11 := PickWeighted(rng, []string{"yes", "no"}, []int{4, 6})
+	maxAuth := Pick(rng, []string{"4", "6"})
+	loginGrace := Pick(rng, []string{"60", "120"})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Port %s\n", port)
+	fmt.Fprintf(&sb, "Protocol 2\n")
+	fmt.Fprintf(&sb, "HostKey %s\n", hostKey)
+	fmt.Fprintf(&sb, "PermitRootLogin %s\n", permitRoot)
+	fmt.Fprintf(&sb, "PasswordAuthentication %s\n", passAuth)
+	fmt.Fprintf(&sb, "X11Forwarding %s\n", x11)
+	fmt.Fprintf(&sb, "MaxAuthTries %s\n", maxAuth)
+	fmt.Fprintf(&sb, "LoginGraceTime %s\n", loginGrace)
+	fmt.Fprintf(&sb, "AuthorizedKeysFile .ssh/authorized_keys\n")
+	fmt.Fprintf(&sb, "Subsystem sftp /usr/lib/openssh/sftp-server\n")
+	fmt.Fprintf(&sb, "ChrootDirectory /var/empty/sshd\n")
+	fmt.Fprintf(&sb, "UsePrivilegeSeparation yes\n")
+
+	img.SetConfig("sshd", "/etc/ssh/sshd_config", sb.String())
+}
+
+// SSHDEntryTypes is the ground-truth semantic type of each sshd attribute.
+func SSHDEntryTypes() map[string]conftypes.Type {
+	return map[string]conftypes.Type{
+		"sshd:Port":                   conftypes.TypePortNumber,
+		"sshd:Protocol":               conftypes.TypeNumber,
+		"sshd:HostKey":                conftypes.TypeFilePath,
+		"sshd:PermitRootLogin":        conftypes.TypeString,
+		"sshd:PasswordAuthentication": conftypes.TypeBoolean,
+		"sshd:X11Forwarding":          conftypes.TypeBoolean,
+		"sshd:MaxAuthTries":           conftypes.TypeNumber,
+		"sshd:LoginGraceTime":         conftypes.TypeNumber,
+		"sshd:AuthorizedKeysFile":     conftypes.TypePartialFilePath,
+		"sshd:Subsystem/arg1":         conftypes.TypeString,
+		"sshd:Subsystem/arg2":         conftypes.TypeFilePath,
+		"sshd:ChrootDirectory":        conftypes.TypeFilePath,
+		"sshd:UsePrivilegeSeparation": conftypes.TypeBoolean,
+	}
+}

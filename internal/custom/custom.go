@@ -1,0 +1,326 @@
+package custom
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/assemble"
+	"repro/internal/conftypes"
+	"repro/internal/rules"
+	"repro/internal/sysimage"
+	"repro/internal/templates"
+)
+
+// Customization is the parsed content of a customization file.
+type Customization struct {
+	// Types holds user-defined semantic types in declaration order
+	// (custom types take priority over predefined ones).
+	Types []*conftypes.Def
+	// Augmenters holds user-defined augmented attributes keyed by the
+	// type they apply to.
+	Augmenters map[conftypes.Type][]assemble.Augmenter
+	// Templates holds user-defined rule templates.
+	Templates []*templates.Template
+	// Operators records the operator names registered (for reporting).
+	Operators []string
+}
+
+// Apply installs the customization into an inferencer, an assembler, and a
+// rule engine (any of which may be nil to skip).
+func (c *Customization) Apply(inf *conftypes.Inferencer, asm *assemble.Assembler, eng *rules.Engine) {
+	if inf != nil {
+		for _, d := range c.Types {
+			inf.AddCustom(d)
+		}
+	}
+	if asm != nil {
+		if inf != nil {
+			asm.Inferencer = inf
+		}
+		for t, augs := range c.Augmenters {
+			for _, a := range augs {
+				asm.AddAugmenter(t, a)
+			}
+		}
+	}
+	if eng != nil {
+		for _, t := range c.Templates {
+			eng.AddTemplate(t)
+		}
+	}
+}
+
+// section names of the customization file (Figure 6).
+const (
+	secTypeDecl       = "$$TypeDeclaration"
+	secTypeInference  = "$$TypeInference"
+	secTypeValidation = "$$TypeValidation"
+	secAugmentDecl    = "$$TypeAugmentDeclaration"
+	secAugment        = "$$TypeAugment"
+	secTypeOperator   = "$$TypeOperator"
+	secTemplate       = "$$Template"
+)
+
+var sectionNames = map[string]bool{
+	secTypeDecl: true, secTypeInference: true, secTypeValidation: true,
+	secAugmentDecl: true, secAugment: true, secTypeOperator: true,
+	secTemplate: true,
+}
+
+// ParseFile parses a customization file. The format has seven optional
+// sections, each introduced by its "$$" header:
+//
+//	$$TypeDeclaration
+//	CacheDir
+//	$$TypeInference
+//	CacheDir (value): { matches(value, '^/.*cache') }
+//	$$TypeValidation
+//	CacheDir (value): { isDir(value) }
+//	$$TypeAugmentDeclaration
+//	CacheDir.group GroupName
+//	$$TypeAugment
+//	CacheDir.group (value): { group(value) }
+//	$$TypeOperator
+//	sameOwner: Operator '~' (v1,v2): { owner(v1) == owner(v2) }
+//	$$Template
+//	[A:CacheDir] ~ [B:FilePath] -- 90%
+func ParseFile(src string) (*Customization, error) {
+	c := &Customization{Augmenters: map[conftypes.Type][]assemble.Augmenter{}}
+
+	sections := splitSections(src)
+
+	// Pass 1: declarations.
+	declared := map[string]bool{}
+	for _, line := range sections[secTypeDecl] {
+		name := strings.TrimSpace(line)
+		if name == "" {
+			continue
+		}
+		if !isTypeName(name) {
+			return nil, fmt.Errorf("custom: invalid type name %q", name)
+		}
+		declared[name] = true
+	}
+
+	inference := map[string]Expr{}
+	for _, line := range sections[secTypeInference] {
+		name, expr, err := parseMethod(line, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !declared[name] {
+			return nil, fmt.Errorf("custom: inference for undeclared type %q", name)
+		}
+		inference[name] = expr
+	}
+	validation := map[string]Expr{}
+	for _, line := range sections[secTypeValidation] {
+		name, expr, err := parseMethod(line, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !declared[name] {
+			return nil, fmt.Errorf("custom: validation for undeclared type %q", name)
+		}
+		validation[name] = expr
+	}
+
+	// Materialize the type defs in declaration order.
+	for _, line := range sections[secTypeDecl] {
+		name := strings.TrimSpace(line)
+		if name == "" {
+			continue
+		}
+		inf, ok := inference[name]
+		if !ok {
+			return nil, fmt.Errorf("custom: type %q has no $$TypeInference method", name)
+		}
+		val := validation[name]
+		def := &conftypes.Def{
+			Name: conftypes.Type(name),
+			Match: func(v string) bool {
+				res, err := inf.Eval(&Env{Vars: map[string]string{"value": v}})
+				return err == nil && res.Bool()
+			},
+		}
+		if val != nil {
+			def.Verify = func(v string, img *sysimage.Image) bool {
+				res, err := val.Eval(&Env{Vars: map[string]string{"value": v}, Image: img})
+				return err == nil && res.Bool()
+			}
+		}
+		c.Types = append(c.Types, def)
+	}
+
+	// Augmented attributes: declaration gives "<Type>.<suffix> <AugType>",
+	// the method computes the value.
+	augTypes := map[string]conftypes.Type{} // "CacheDir.group" -> GroupName
+	for _, line := range sections[secAugmentDecl] {
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) == 0 {
+			continue
+		}
+		if len(f) != 2 || !strings.Contains(f[0], ".") {
+			return nil, fmt.Errorf("custom: bad augment declaration %q (want \"Type.suffix AugType\")", line)
+		}
+		augTypes[f[0]] = conftypes.Type(f[1])
+	}
+	for _, line := range sections[secAugment] {
+		name, expr, err := parseMethod(line, 1)
+		if err != nil {
+			return nil, err
+		}
+		augType, ok := augTypes[name]
+		if !ok {
+			return nil, fmt.Errorf("custom: augment method for undeclared attribute %q", name)
+		}
+		base, suffix, _ := strings.Cut(name, ".")
+		e := expr
+		c.Augmenters[conftypes.Type(base)] = append(c.Augmenters[conftypes.Type(base)], assemble.Augmenter{
+			Suffix: suffix,
+			Type:   augType,
+			Compute: func(v string, img *sysimage.Image) (string, bool) {
+				res, err := e.Eval(&Env{Vars: map[string]string{"value": v}, Image: img})
+				if err != nil {
+					return "", false
+				}
+				s := res.String()
+				return s, s != ""
+			},
+		})
+	}
+
+	// Operators: "<name>: Operator '<op>' (v1,v2): { expr }".
+	for _, line := range sections[secTypeOperator] {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		name, op, expr, err := parseOperator(line)
+		if err != nil {
+			return nil, err
+		}
+		c.Operators = append(c.Operators, name)
+		e := expr
+		validator := func(a, b []string, ctx *templates.Ctx) (bool, bool) {
+			if len(a) == 0 || len(b) == 0 {
+				return false, false
+			}
+			var img *sysimage.Image
+			if ctx != nil {
+				img = ctx.Image
+			}
+			res, err := e.Eval(&Env{Vars: map[string]string{"v1": a[0], "v2": b[0]}, Image: img})
+			if err != nil {
+				return false, false
+			}
+			return res.Bool(), true
+		}
+		// Register for every declared custom type pair and as wildcard.
+		templates.RegisterOp(op, conftypes.TypeString, conftypes.TypeString, validator)
+		for _, da := range c.Types {
+			for _, db := range c.Types {
+				templates.RegisterOp(op, da.Name, db.Name, validator)
+			}
+			templates.RegisterOp(op, da.Name, conftypes.TypeFilePath, validator)
+			templates.RegisterOp(op, conftypes.TypeFilePath, da.Name, validator)
+		}
+	}
+
+	// Templates: "[A:Type] op [B:Type]" with optional "-- NN%" confidence
+	// annotation (recorded but thresholds stay engine-wide).
+	for _, line := range sections[secTemplate] {
+		spec := strings.TrimSpace(line)
+		if spec == "" {
+			continue
+		}
+		if i := strings.Index(spec, "--"); i >= 0 {
+			spec = strings.TrimSpace(spec[:i])
+		}
+		tpl, err := templates.ParseSpec("", spec)
+		if err != nil {
+			return nil, err
+		}
+		c.Templates = append(c.Templates, tpl)
+	}
+
+	return c, nil
+}
+
+// splitSections groups the file's lines under their "$$" headers.
+func splitSections(src string) map[string][]string {
+	out := map[string][]string{}
+	current := ""
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if sectionNames[trimmed] {
+			current = trimmed
+			continue
+		}
+		if current != "" && trimmed != "" {
+			out[current] = append(out[current], line)
+		}
+	}
+	return out
+}
+
+func isTypeName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+			return false
+		}
+	}
+	return s[0] >= 'A' && s[0] <= 'Z'
+}
+
+// parseMethod parses "<name> (args): { expr }" lines.
+func parseMethod(line string, nargs int) (string, Expr, error) {
+	open := strings.Index(line, "(")
+	colon := strings.Index(line, ":")
+	lbrace := strings.Index(line, "{")
+	rbrace := strings.LastIndex(line, "}")
+	if open < 0 || colon < open || lbrace < colon || rbrace < lbrace {
+		return "", nil, fmt.Errorf("custom: malformed method %q (want \"Name (value): { expr }\")", strings.TrimSpace(line))
+	}
+	name := strings.TrimSpace(line[:open])
+	expr, err := CompileExpr(line[lbrace+1 : rbrace])
+	if err != nil {
+		return "", nil, fmt.Errorf("custom: method %s: %w", name, err)
+	}
+	return name, expr, nil
+}
+
+// parseOperator parses "<name>: Operator '<op>' (v1,v2): { expr }" lines.
+func parseOperator(line string) (name, op string, expr Expr, err error) {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return "", "", nil, fmt.Errorf("custom: malformed operator %q", strings.TrimSpace(line))
+	}
+	name = strings.TrimSpace(line[:colon])
+	rest := line[colon+1:]
+	q1 := strings.Index(rest, "'")
+	q2 := -1
+	if q1 >= 0 {
+		q2 = strings.Index(rest[q1+1:], "'")
+	}
+	if !strings.Contains(rest, "Operator") || q1 < 0 || q2 < 0 {
+		return "", "", nil, fmt.Errorf("custom: operator %q missing Operator '<symbol>'", name)
+	}
+	op = rest[q1+1 : q1+1+q2]
+	lbrace := strings.Index(rest, "{")
+	rbrace := strings.LastIndex(rest, "}")
+	if lbrace < 0 || rbrace < lbrace {
+		return "", "", nil, fmt.Errorf("custom: operator %q missing body", name)
+	}
+	expr, err = CompileExpr(rest[lbrace+1 : rbrace])
+	if err != nil {
+		return "", "", nil, fmt.Errorf("custom: operator %s: %w", name, err)
+	}
+	return name, op, expr, nil
+}

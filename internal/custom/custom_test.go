@@ -1,0 +1,313 @@
+package custom
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assemble"
+	"repro/internal/conftypes"
+	"repro/internal/rules"
+	"repro/internal/sysimage"
+	"repro/internal/templates"
+)
+
+func envImage() *sysimage.Image {
+	im := sysimage.New("env")
+	im.Users["mysql"] = &sysimage.User{Name: "mysql", UID: 27, GID: 27}
+	im.Groups["mysql"] = &sysimage.Group{Name: "mysql", GID: 27}
+	im.Services = []sysimage.Service{{Name: "mysql", Port: 3306, Protocol: "tcp"}}
+	im.AddDir("/var/cache/app", "mysql", "mysql", 0o750)
+	im.AddRegular("/var/cache/app/data.bin", "mysql", "mysql", 0o640, 9)
+	im.Env["HOME"] = "/root"
+	im.OS.SELinux = "enforcing"
+	im.HW = sysimage.Hardware{Present: true, CPUCores: 4, MemBytes: 8 << 30}
+	return im
+}
+
+func eval(t *testing.T, src string, vars map[string]string, img *sysimage.Image) Value {
+	t.Helper()
+	e, err := CompileExpr(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, err := e.Eval(&Env{Vars: vars, Image: img})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestExprLiteralsAndOps(t *testing.T) {
+	img := envImage()
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"true", true},
+		{"false", false},
+		{"!false", true},
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"'a' == 'a'", true},
+		{"'a' != 'b'", true},
+		{"1 + 1 == 2", true},
+		{"'a' + 'b' == 'ab'", true},
+		{"true && false", false},
+		{"true || false", true},
+		{"(1 < 2) && (2 < 3)", true},
+		{"-1 < 0", true},
+		{"size('1M') == 1048576", true},
+		{"size('2K') < size('1M')", true},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src, nil, img); got.Bool() != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprVariablesAndEnvFunctions(t *testing.T) {
+	img := envImage()
+	vars := map[string]string{"value": "/var/cache/app", "v1": "mysql", "v2": "/var/cache/app/data.bin"}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"exists(value)", true},
+		{"isDir(value)", true},
+		{"isFile(value)", false},
+		{"isFile(v2)", true},
+		{"owner(value) == 'mysql'", true},
+		{"group(value) == v1", true},
+		{"perm(v2) == '0640'", true},
+		{"accessible(v2, v1)", true},
+		{"accessible(v2, 'nobody')", false},
+		{"userExists(v1)", true},
+		{"groupExists('mysql')", true},
+		{"userInGroup(v1, 'mysql')", true},
+		{"primaryGroup(v1) == 'mysql'", true},
+		{"portRegistered(3306)", true},
+		{"portRegistered(9999)", false},
+		{"envVar('HOME') == '/root'", true},
+		{"selinux() == 'enforcing'", true},
+		{"memBytes() > 0", true},
+		{"cpuCores() == 4", true},
+		{"matches(value, '^/var/cache')", true},
+		{"contains(value, 'cache')", true},
+		{"hasPrefix(value, '/var')", true},
+		{"hasSuffix(v2, '.bin')", true},
+		{"lower('ABC') == 'abc'", true},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src, vars, img); got.Bool() != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprNilImage(t *testing.T) {
+	vars := map[string]string{"value": "/x"}
+	for _, src := range []string{"exists(value)", "isDir(value)", "userExists('a')", "memBytes() == 0"} {
+		e, err := CompileExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Eval(&Env{Vars: vars}); err != nil {
+			t.Errorf("%q should evaluate with nil image: %v", src, err)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 +",
+		"(1",
+		"'unterminated",
+		"unknownFn(1)",
+		"matches('a')", // arity
+		"1 ? 2",
+		"a b",
+	}
+	for _, src := range bad {
+		e, err := CompileExpr(src)
+		if err != nil {
+			continue
+		}
+		if _, err := e.Eval(&Env{Vars: map[string]string{}}); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+	// Unknown variable errors at eval.
+	e, err := CompileExpr("missing == 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(&Env{Vars: map[string]string{}}); err == nil {
+		t.Error("unknown variable should error")
+	}
+}
+
+const sampleCustomization = `
+# Custom cache-directory type with environment-aware validation.
+$$TypeDeclaration
+CacheDir
+$$TypeInference
+CacheDir (value): { matches(value, '^/var/cache(/.*)?$') }
+$$TypeValidation
+CacheDir (value): { isDir(value) }
+$$TypeAugmentDeclaration
+CacheDir.group GroupName
+$$TypeAugment
+CacheDir.group (value): { group(value) }
+$$TypeOperator
+ownedBy: Operator '~' (v1,v2): { owner(v1) == v2 }
+$$Template
+[A:CacheDir] ~ [B:UserName] -- 90%
+`
+
+func TestParseFileFull(t *testing.T) {
+	c, err := ParseFile(sampleCustomization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Types) != 1 || c.Types[0].Name != conftypes.Type("CacheDir") {
+		t.Fatalf("types = %+v", c.Types)
+	}
+	img := envImage()
+	if !c.Types[0].Match("/var/cache/app") {
+		t.Fatal("inference method should match")
+	}
+	if c.Types[0].Match("/etc") {
+		t.Fatal("inference should reject non-cache path")
+	}
+	if !c.Types[0].Verify("/var/cache/app", img) {
+		t.Fatal("validation should pass for existing dir")
+	}
+	if c.Types[0].Verify("/var/cache/missing", img) {
+		t.Fatal("validation should fail for missing dir")
+	}
+	augs := c.Augmenters[conftypes.Type("CacheDir")]
+	if len(augs) != 1 || augs[0].Suffix != "group" || augs[0].Type != conftypes.TypeGroupName {
+		t.Fatalf("augmenters = %+v", augs)
+	}
+	if v, ok := augs[0].Compute("/var/cache/app", img); !ok || v != "mysql" {
+		t.Fatalf("augment compute = %q %v", v, ok)
+	}
+	if len(c.Operators) != 1 || c.Operators[0] != "ownedBy" {
+		t.Fatalf("operators = %v", c.Operators)
+	}
+	if len(c.Templates) != 1 {
+		t.Fatalf("templates = %d", len(c.Templates))
+	}
+	tpl := c.Templates[0]
+	ok, app := tpl.Validate([]string{"/var/cache/app"}, []string{"mysql"}, &templates.Ctx{Image: img})
+	if !app || !ok {
+		t.Fatalf("custom template validate = %v %v", ok, app)
+	}
+	ok, _ = tpl.Validate([]string{"/var/cache/app"}, []string{"root"}, &templates.Ctx{Image: img})
+	if ok {
+		t.Fatal("wrong owner should not hold")
+	}
+}
+
+func TestApply(t *testing.T) {
+	c, err := ParseFile(sampleCustomization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := conftypes.NewInferencer()
+	asm := assemble.New()
+	eng := rules.NewEngine()
+	before := len(eng.Templates)
+	c.Apply(inf, asm, eng)
+	img := envImage()
+	if got := inf.InferValue("/var/cache/app", img); got != conftypes.Type("CacheDir") {
+		t.Fatalf("custom type not active: %s", got)
+	}
+	if len(eng.Templates) != before+1 {
+		t.Fatal("template not added to engine")
+	}
+	// Apply with nils must not panic.
+	c.Apply(nil, nil, nil)
+}
+
+func TestParseFileErrors(t *testing.T) {
+	bad := []string{
+		"$$TypeInference\nUndeclared (value): { true }\n",
+		"$$TypeValidation\nUndeclared (value): { true }\n",
+		"$$TypeDeclaration\nBadName!\n",
+		"$$TypeDeclaration\nlowercase\n",
+		"$$TypeDeclaration\nNoMethod\n",
+		"$$TypeDeclaration\nT\n$$TypeInference\nT (value): { bad syntax here ( }\n",
+		"$$TypeAugmentDeclaration\nmissingdot GroupName\n",
+		"$$TypeAugment\nX.y (value): { true }\n",
+		"$$TypeOperator\nnocolonhere\n",
+		"$$TypeOperator\nname: Operator noquotes (v1,v2): { true }\n",
+		"$$Template\n[A:Size] ?? [B:Size]\n",
+		"$$Template\ngarbage\n",
+	}
+	for _, src := range bad {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("ParseFile should fail for %q", src)
+		}
+	}
+}
+
+func TestParseFileEmptyAndComments(t *testing.T) {
+	c, err := ParseFile("# just comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Types) != 0 || len(c.Templates) != 0 {
+		t.Fatal("empty file should parse to empty customization")
+	}
+}
+
+func TestMethodMissingValidationIsOptional(t *testing.T) {
+	src := "$$TypeDeclaration\nWord\n$$TypeInference\nWord (value): { matches(value, '^[a-z]+$') }\n"
+	c, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Types[0].Verify != nil {
+		t.Fatal("no validation section: Verify must be nil")
+	}
+}
+
+func TestConfidenceAnnotationStripped(t *testing.T) {
+	src := "$$Template\n[A:Size] < [B:Size] -- 95%\n"
+	c, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Templates) != 1 {
+		t.Fatal("template with annotation should parse")
+	}
+	if !strings.Contains(c.Templates[0].Spec, "[A:Size]") {
+		t.Fatalf("spec = %q", c.Templates[0].Spec)
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	img := envImage()
+	// Numbers compare with size strings.
+	if got := eval(t, "memBytes() == size('8G')", nil, img); !got.Bool() {
+		t.Fatal("memBytes should equal 8G")
+	}
+	// String fallback comparison.
+	if got := eval(t, "'abc' < 'abd'", nil, img); !got.Bool() {
+		t.Fatal("string comparison should work")
+	}
+	v := str("x")
+	if v.String() != "x" || !v.Bool() {
+		t.Fatal("string value semantics")
+	}
+	if num(0).Bool() || !num(1).Bool() {
+		t.Fatal("number truthiness")
+	}
+	if boolean(true).String() != "true" || num(2.5).String() != "2.5" {
+		t.Fatal("value rendering")
+	}
+}

@@ -1,0 +1,293 @@
+package custom
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ---- regex cache ----
+
+var (
+	reCacheMu sync.Mutex
+	reCache   = map[string]*regexp.Regexp{}
+)
+
+func compileCached(pattern string) (*regexp.Regexp, error) {
+	reCacheMu.Lock()
+	defer reCacheMu.Unlock()
+	if re, ok := reCache[pattern]; ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("custom: bad pattern %q: %w", pattern, err)
+	}
+	reCache[pattern] = re
+	return re, nil
+}
+
+// ---- expression tokenizer ----
+
+type token struct {
+	kind string // "ident", "str", "num", "op", "(", ")", ","
+	text string
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, token{kind: string(c), text: string(c)})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("custom: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: "str", text: src[i+1 : j]})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: "num", text: src[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: "ident", text: src[i:j]})
+			i = j
+		default:
+			// Operators, longest first.
+			matched := false
+			for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||", "<", ">", "!", "+", "-"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: "op", text: op})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("custom: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// ---- recursive-descent parser ----
+//
+// Precedence (loosest first): || , && , comparisons , + - , unary , primary.
+
+type exprParser struct {
+	toks []token
+	pos  int
+}
+
+// CompileExpr compiles an expression string.
+func CompileExpr(src string) (Expr, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("custom: trailing tokens after expression: %v", p.toks[p.pos:])
+	}
+	return e, nil
+}
+
+func (p *exprParser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *exprParser) accept(kind, text string) bool {
+	if t, ok := p.peek(); ok && t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("op", "||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("op", "&&") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != "op" {
+			return l, nil
+		}
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: t.text, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAdd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != "op" || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: t.text, l: l, r: r}
+	}
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	if p.accept("op", "!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "!", x: x}, nil
+	}
+	if p.accept("op", "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "-", x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("custom: unexpected end of expression")
+	}
+	switch t.kind {
+	case "str":
+		p.pos++
+		return litExpr{v: str(t.text)}, nil
+	case "num":
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("custom: bad number %q", t.text)
+		}
+		return litExpr{v: num(f)}, nil
+	case "ident":
+		p.pos++
+		switch t.text {
+		case "true":
+			return litExpr{v: boolean(true)}, nil
+		case "false":
+			return litExpr{v: boolean(false)}, nil
+		}
+		if p.accept("(", "") {
+			var args []Expr
+			if !p.accept(")", "") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(")", "") {
+						break
+					}
+					if !p.accept(",", "") {
+						return nil, fmt.Errorf("custom: expected ',' or ')' in call to %s", t.text)
+					}
+				}
+			}
+			if _, ok := builtins[t.text]; !ok {
+				return nil, fmt.Errorf("custom: unknown function %q", t.text)
+			}
+			return callExpr{name: t.text, args: args}, nil
+		}
+		return varExpr{name: t.text}, nil
+	case "(":
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")", "") {
+			return nil, fmt.Errorf("custom: missing ')'")
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("custom: unexpected token %q", t.text)
+}

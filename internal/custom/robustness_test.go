@@ -1,0 +1,86 @@
+package custom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sysimage"
+)
+
+// TestCompileExprNeverPanics feeds arbitrary byte soup to the expression
+// compiler; it must return an error or an expression, never panic.
+func TestCompileExprNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("CompileExpr(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = CompileExpr(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalNeverPanics evaluates every compilable fragment built from DSL
+// vocabulary against both nil and real environments.
+func TestEvalNeverPanics(t *testing.T) {
+	img := sysimage.New("x")
+	img.AddDir("/a", "root", "root", 0o755)
+	fragments := []string{
+		"value", "v1 == v2", "!value", "-1 + 2", "size(value) < 10",
+		"exists(value) && isDir(value)", "owner(value) == 'root'",
+		"matches(value, '.*')", "lower(value) + 'x'",
+		"userExists(v1) || groupExists(v2)", "memBytes() > cpuCores()",
+		"perm(value) != '0644'", "envVar('PATH') == ''",
+	}
+	vars := map[string]string{"value": "/a", "v1": "u", "v2": "g"}
+	for _, src := range fragments {
+		e, err := CompileExpr(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		for _, env := range []*Env{{Vars: vars}, {Vars: vars, Image: img}, {Vars: map[string]string{}}} {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("eval %q panicked: %v", src, r)
+					}
+				}()
+				_, _ = e.Eval(env)
+			}()
+		}
+	}
+}
+
+// TestParseFileNeverPanics feeds arbitrary section soup to the
+// customization-file parser.
+func TestParseFileNeverPanics(t *testing.T) {
+	seeds := []string{
+		"$$TypeDeclaration\n\x00\n",
+		"$$Template\n[A:] < [B:]\n",
+		"$$TypeOperator\n::::\n",
+		"$$TypeAugmentDeclaration\na.b.c d e f\n",
+		"$$TypeInference\nX (value: { true }\n",
+	}
+	for _, src := range seeds {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseFile(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = ParseFile(src)
+		}()
+	}
+	f := func(src string) bool {
+		defer func() { _ = recover() }()
+		_, _ = ParseFile(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

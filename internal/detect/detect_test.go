@@ -1,0 +1,284 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assemble"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+	"repro/internal/sysimage"
+)
+
+// mkImage builds a MySQL image whose datadir ownership matches the
+// configured user and whose values vary a little across ids.
+func mkImage(id, datadir, user, packet string) *sysimage.Image {
+	im := sysimage.New(id)
+	im.Users["root"] = &sysimage.User{Name: "root", UID: 0, GID: 0, IsAdmin: true}
+	im.Users[user] = &sysimage.User{Name: user, UID: 27, GID: 27}
+	im.Users["nobody"] = &sysimage.User{Name: "nobody", UID: 99, GID: 99}
+	im.Groups[user] = &sysimage.Group{Name: user, GID: 27}
+	im.Services = []sysimage.Service{{Name: "mysql", Port: 3306, Protocol: "tcp"}}
+	im.AddDir(datadir, user, user, 0o750)
+	im.SetConfig("mysql", "/etc/my.cnf", strings.Join([]string{
+		"[mysqld]",
+		"datadir = " + datadir,
+		"user = " + user,
+		"port = 3306",
+		"max_allowed_packet = " + packet,
+		"",
+	}, "\n"))
+	return im
+}
+
+type fixture struct {
+	det      *Detector
+	training *dataset.Dataset
+}
+
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	dirs := []string{"/var/lib/mysql", "/data/mysql", "/srv/mysql"}
+	packets := []string{"16M", "32M", "64M"}
+	var images []*sysimage.Image
+	byID := map[string]*sysimage.Image{}
+	for i := 0; i < 18; i++ {
+		user := "mysql"
+		if i%6 == 0 {
+			user = "mysqld_safe"
+		}
+		im := mkImage(string(rune('a'+i))+"-train", dirs[i%3], user, packets[i%3])
+		images = append(images, im)
+		byID[im.ID] = im
+	}
+	training, err := assemble.New().AssembleTraining(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := rules.NewEngine().Infer(training, byID)
+	if len(learned) == 0 {
+		t.Fatal("fixture learned no rules")
+	}
+	return &fixture{det: New(training, learned), training: training}
+}
+
+func TestCleanTargetProducesNoHighWarnings(t *testing.T) {
+	f := buildFixture(t)
+	target := mkImage("clean", "/var/lib/mysql", "mysql", "16M")
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rep.Warnings {
+		if w.Kind == KindCorrelation || w.Kind == KindType || w.Kind == KindName {
+			t.Fatalf("clean target produced %s warning: %s", w.Kind, w.Message)
+		}
+	}
+}
+
+func TestOwnershipViolationDetected(t *testing.T) {
+	f := buildFixture(t)
+	// Figure 1(b): datadir owned by root, not the configured user.
+	target := mkImage("bad-owner", "/var/lib/mysql", "mysql", "16M")
+	target.Files["/var/lib/mysql"].Owner = "root"
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := rep.RankOf(func(w *Warning) bool {
+		return w.Kind == KindCorrelation && w.Rule != nil && w.Rule.Template == "owner"
+	})
+	if rank == 0 {
+		t.Fatalf("ownership violation not reported; warnings: %v", messages(rep))
+	}
+	if rank > 3 {
+		t.Fatalf("ownership violation ranked too low: %d", rank)
+	}
+}
+
+func TestTypeViolationFileVsDir(t *testing.T) {
+	f := buildFixture(t)
+	// Figure 1(a) analogue: datadir points at a regular file.
+	target := mkImage("file-dir", "/var/lib/mysql", "mysql", "16M")
+	target.AddRegular("/var/lib/mysql.tar", "mysql", "mysql", 0o644, 9)
+	cfg := target.ConfigFor("mysql")
+	target.SetConfig("mysql", cfg.Path, strings.Replace(cfg.Content, "datadir = /var/lib/mysql", "datadir = /var/lib/mysql.tar", 1))
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The path exists, so FilePath type passes; but the ownership rule and
+	// any dir-related correlation may fire. At minimum the suspicious
+	// value should be flagged.
+	if rep.RankOf(func(w *Warning) bool { return w.Attr == "mysql:mysqld/datadir" }) == 0 {
+		t.Fatalf("no warning for file-vs-dir datadir; warnings: %v", messages(rep))
+	}
+}
+
+func TestTypeViolationMissingPath(t *testing.T) {
+	f := buildFixture(t)
+	target := mkImage("missing-path", "/var/lib/mysql", "mysql", "16M")
+	cfg := target.ConfigFor("mysql")
+	target.SetConfig("mysql", cfg.Path, strings.Replace(cfg.Content, "datadir = /var/lib/mysql", "datadir = /nonexistent/dir", 1))
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := rep.RankOf(func(w *Warning) bool {
+		return w.Kind == KindType && w.Attr == "mysql:mysqld/datadir"
+	})
+	if rank == 0 {
+		t.Fatalf("missing path not flagged as type violation; warnings: %v", messages(rep))
+	}
+}
+
+func TestNameViolationWithSuggestion(t *testing.T) {
+	f := buildFixture(t)
+	target := mkImage("typo", "/var/lib/mysql", "mysql", "16M")
+	cfg := target.ConfigFor("mysql")
+	target.SetConfig("mysql", cfg.Path, strings.Replace(cfg.Content, "max_allowed_packet", "max_alowed_packet", 1))
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nameWarning *Warning
+	for _, w := range rep.Warnings {
+		if w.Kind == KindName {
+			nameWarning = w
+		}
+	}
+	if nameWarning == nil {
+		t.Fatalf("misspelled entry not flagged; warnings: %v", messages(rep))
+	}
+	if !strings.Contains(nameWarning.Message, "did you mean") ||
+		!strings.Contains(nameWarning.Message, "max_allowed_packet") {
+		t.Fatalf("no suggestion in %q", nameWarning.Message)
+	}
+}
+
+func TestSuspiciousValueRankedByICF(t *testing.T) {
+	f := buildFixture(t)
+	// port was always 3306 (cardinality 1); packet had 3 values. A new
+	// port value must rank above a new packet value.
+	target := mkImage("susp", "/var/lib/mysql", "mysql", "16M")
+	cfg := target.ConfigFor("mysql")
+	content := strings.Replace(cfg.Content, "port = 3306", "port = 3307", 1)
+	content = strings.Replace(content, "max_allowed_packet = 16M", "max_allowed_packet = 48M", 1)
+	target.SetConfig("mysql", cfg.Path, content)
+	target.Services = []sysimage.Service{{Name: "x", Port: 3307, Protocol: "tcp"}}
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	portRank := rep.RankOf(func(w *Warning) bool {
+		return w.Kind == KindSuspicious && w.Attr == "mysql:mysqld/port"
+	})
+	packetRank := rep.RankOf(func(w *Warning) bool {
+		return w.Kind == KindSuspicious && w.Attr == "mysql:mysqld/max_allowed_packet"
+	})
+	if portRank == 0 || packetRank == 0 {
+		t.Fatalf("suspicious values missing (port=%d packet=%d): %v", portRank, packetRank, messages(rep))
+	}
+	if portRank >= packetRank {
+		t.Fatalf("ICF ranking wrong: stable entry rank %d should beat volatile entry rank %d", portRank, packetRank)
+	}
+}
+
+func TestAbsentEntriesIgnoreRules(t *testing.T) {
+	f := buildFixture(t)
+	target := mkImage("absent", "/var/lib/mysql", "mysql", "16M")
+	cfg := target.ConfigFor("mysql")
+	// Remove the user entry entirely: ownership rule must be skipped, not
+	// violated.
+	target.SetConfig("mysql", cfg.Path, strings.Replace(cfg.Content, "user = mysql\n", "", 1))
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RankOf(func(w *Warning) bool { return w.Kind == KindCorrelation }) != 0 {
+		t.Fatalf("rule with absent entry should be ignored; warnings: %v", messages(rep))
+	}
+}
+
+func TestRanksAreSequential(t *testing.T) {
+	f := buildFixture(t)
+	target := mkImage("bad", "/var/lib/mysql", "mysql", "16M")
+	target.Files["/var/lib/mysql"].Owner = "root"
+	cfg := target.ConfigFor("mysql")
+	target.SetConfig("mysql", cfg.Path, strings.Replace(cfg.Content, "port = 3306", "port = 12345", 1))
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("expected warnings")
+	}
+	for i, w := range rep.Warnings {
+		if w.Rank != i+1 {
+			t.Fatalf("rank %d at index %d", w.Rank, i)
+		}
+		if i > 0 && rep.Warnings[i-1].Score < w.Score {
+			t.Fatal("warnings not sorted by score")
+		}
+	}
+	if rep.Top() == nil || rep.Top().Rank != 1 {
+		t.Fatal("Top() should be rank 1")
+	}
+}
+
+func TestSuspiciousValueLimit(t *testing.T) {
+	f := buildFixture(t)
+	f.det.SuspiciousValueLimit = 1
+	target := mkImage("limit", "/weird/dir", "mysql", "99M")
+	rep, err := f.det.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, w := range rep.Warnings {
+		if w.Kind == KindSuspicious {
+			n++
+		}
+	}
+	if n > 1 {
+		t.Fatalf("suspicious warnings = %d, want <= 1", n)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"abc", "abc", 3, 0},
+		{"abc", "abd", 3, 1},
+		{"abc", "acb", 3, 2},
+		{"abc", "xyz", 3, 3}, // clamped at bound
+		{"", "ab", 3, 2},
+		{"kitten", "sitting", 5, 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b, c.bound); got != c.want {
+			t.Errorf("editDistance(%q,%q,%d) = %d, want %d", c.a, c.b, c.bound, got, c.want)
+		}
+	}
+}
+
+func TestReportRankOfMissing(t *testing.T) {
+	r := &Report{}
+	if r.RankOf(func(*Warning) bool { return true }) != 0 {
+		t.Fatal("empty report should rank 0")
+	}
+	if r.Top() != nil {
+		t.Fatal("empty report Top should be nil")
+	}
+}
+
+func messages(r *Report) []string {
+	out := make([]string, len(r.Warnings))
+	for i, w := range r.Warnings {
+		out[i] = string(w.Kind) + ": " + w.Message
+	}
+	return out
+}

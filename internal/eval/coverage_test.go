@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestTemplateCoverageAcrossCorpora asserts that the core rule templates
+// each produce at least one rule somewhere across the standard corpora —
+// i.e. that the predefined templates are not dead weight on realistic
+// data. (subnet and not-access fire only on corpora with the matching
+// shape; their validators are unit-tested in internal/templates.)
+func TestTemplateCoverageAcrossCorpora(t *testing.T) {
+	covered := map[string]bool{}
+	for _, app := range Apps {
+		tr, err := Train(app, 60, testSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Rules {
+			covered[r.Template] = true
+		}
+	}
+	// The LAMP corpus adds the cross-component shapes.
+	images, err := corpus.LAMPTraining(40, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TrainImages(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Rules {
+		covered[r.Template] = true
+	}
+
+	want := []string{
+		"owner", "eq", "match-one", "size-lt", "num-lt",
+		"concat", "substr", "bool-implies", "user-group",
+	}
+	for _, tpl := range want {
+		if !covered[tpl] {
+			t.Errorf("template %q never learned a rule on the standard corpora (covered: %v)", tpl, covered)
+		}
+	}
+}

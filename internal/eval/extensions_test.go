@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionEnvInjectionShape(t *testing.T) {
+	rows, err := ExtensionEnvInjection(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total != EnvInjectionsPerApp {
+			t.Errorf("%s: total = %d", r.App, r.Total)
+		}
+		// The structural claim: a pure value-comparison detector cannot
+		// see environment errors (the config file is untouched), while
+		// environment-aware detectors can.
+		if r.Baseline != 0 {
+			t.Errorf("%s: pure baseline detected %d environment errors (should be structurally blind)", r.App, r.Baseline)
+		}
+		if r.EnCore < r.BaselineEnv {
+			t.Errorf("%s: EnCore %d below Baseline+Env %d", r.App, r.EnCore, r.BaselineEnv)
+		}
+		if r.EnCore < r.Total*3/5 {
+			t.Errorf("%s: EnCore detected only %d of %d environment errors", r.App, r.EnCore, r.Total)
+		}
+	}
+	out := RenderEnvInjection(rows)
+	if !strings.Contains(out, "environment-error injection") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestExtensionCrossComponentShape(t *testing.T) {
+	res, err := ExtensionCrossComponent(40, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossRules == 0 {
+		t.Fatal("no cross-component rules learned")
+	}
+	if res.TrueCross == 0 {
+		t.Fatal("no ground-truth cross-component rules learned")
+	}
+	if res.SocketRank == 0 || res.SocketRank > 5 {
+		t.Errorf("stale-socket failure rank = %d (want top 5)", res.SocketRank)
+	}
+	if res.SessionRank == 0 || res.SessionRank > 5 {
+		t.Errorf("session-owner failure rank = %d (want top 5)", res.SessionRank)
+	}
+	out := RenderCrossComponent(res)
+	if !strings.Contains(out, "LAMP") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

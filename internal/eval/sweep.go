@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/rules"
+)
+
+// SweepPoint is the rule-inference outcome at one threshold setting.
+type SweepPoint struct {
+	Confidence float64
+	Support    float64
+	Entropy    float64
+	Rules      int
+	TrueRules  int
+	FalseRules int
+}
+
+// Precision returns the fraction of learned rules that match ground truth.
+func (p SweepPoint) Precision() float64 {
+	if p.Rules == 0 {
+		return 0
+	}
+	return float64(p.TrueRules) / float64(p.Rules)
+}
+
+// ThresholdSweep measures how the paper's three filters trade rule yield
+// against precision on one app's corpus. Each point varies a single
+// threshold from the defaults (conf 0.90 / support 0.10 / entropy 0.325),
+// so the sweep doubles as a sensitivity analysis for the values Section
+// 5.2 selects.
+func ThresholdSweep(app string, seed int64) ([]SweepPoint, error) {
+	tr, err := Train(app, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	truth := corpus.GroundTruthRules(app)
+	var points []SweepPoint
+
+	runWith := func(cfg rules.Config) SweepPoint {
+		eng := rules.NewEngine()
+		eng.Config = cfg
+		learned := eng.Infer(tr.Data, tr.ByID)
+		p := SweepPoint{
+			Confidence: cfg.MinConfidence,
+			Support:    cfg.MinSupportFraction,
+			Rules:      len(learned),
+		}
+		if cfg.UseEntropyFilter {
+			p.Entropy = cfg.EntropyThreshold
+		}
+		for _, r := range learned {
+			if isTrueRule(r, truth) {
+				p.TrueRules++
+			} else {
+				p.FalseRules++
+			}
+		}
+		return p
+	}
+
+	for _, conf := range []float64{0.70, 0.80, 0.90, 0.95, 1.0} {
+		cfg := rules.DefaultConfig()
+		cfg.MinConfidence = conf
+		points = append(points, runWith(cfg))
+	}
+	for _, supp := range []float64{0.01, 0.05, 0.10, 0.25, 0.50} {
+		cfg := rules.DefaultConfig()
+		cfg.MinSupportFraction = supp
+		points = append(points, runWith(cfg))
+	}
+	for _, ht := range []float64{0, 0.1, 0.325, 0.6, 1.0} {
+		cfg := rules.DefaultConfig()
+		cfg.EntropyThreshold = ht
+		cfg.UseEntropyFilter = ht > 0
+		points = append(points, runWith(cfg))
+	}
+	return points, nil
+}
+
+// RenderSweep prints the sweep.
+func RenderSweep(app string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: filter-threshold sensitivity (%s)\n", app)
+	fmt.Fprintf(&b, "%-6s %-8s %-8s %7s %6s %6s %10s\n", "conf", "support", "entropy", "rules", "true", "false", "precision")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6.2f %-8.2f %-8.3f %7d %6d %6d %9.0f%%\n",
+			p.Confidence, p.Support, p.Entropy, p.Rules, p.TrueRules, p.FalseRules, p.Precision()*100)
+	}
+	return b.String()
+}

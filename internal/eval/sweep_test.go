@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThresholdSweepShape(t *testing.T) {
+	points, err := ThresholdSweep("mysql", testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 15 {
+		t.Fatalf("points = %d, want 15 (3 sweeps x 5)", len(points))
+	}
+
+	// Confidence sweep (first 5 points): loosening confidence never
+	// reduces the rule yield; tightening never increases it.
+	conf := points[:5]
+	for i := 1; i < len(conf); i++ {
+		if conf[i].Rules > conf[i-1].Rules {
+			t.Errorf("confidence sweep not monotone: %+v then %+v", conf[i-1], conf[i])
+		}
+	}
+
+	// Support sweep (next 5): same monotonicity.
+	supp := points[5:10]
+	for i := 1; i < len(supp); i++ {
+		if supp[i].Rules > supp[i-1].Rules {
+			t.Errorf("support sweep not monotone: %+v then %+v", supp[i-1], supp[i])
+		}
+	}
+
+	// Entropy sweep (last 5): no filter yields the most rules with the
+	// worst precision; the paper's Ht=0.325 should improve precision over
+	// the unfiltered run.
+	ent := points[10:15]
+	unfiltered := ent[0]
+	var atPaperHt *SweepPoint
+	for i := range ent {
+		if ent[i].Entropy == 0.325 {
+			atPaperHt = &ent[i]
+		}
+	}
+	if atPaperHt == nil {
+		t.Fatal("paper threshold missing from sweep")
+	}
+	if unfiltered.Rules <= atPaperHt.Rules {
+		t.Errorf("entropy filter should reduce yield: %d vs %d", unfiltered.Rules, atPaperHt.Rules)
+	}
+	if atPaperHt.Precision() <= unfiltered.Precision() {
+		t.Errorf("entropy filter should improve precision: %.2f vs %.2f",
+			atPaperHt.Precision(), unfiltered.Precision())
+	}
+
+	out := RenderSweep("mysql", points)
+	if !strings.Contains(out, "precision") || !strings.Contains(out, "0.33") && !strings.Contains(out, "0.325") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSweepPointPrecision(t *testing.T) {
+	if (SweepPoint{}).Precision() != 0 {
+		t.Fatal("empty point precision should be 0")
+	}
+	p := SweepPoint{Rules: 4, TrueRules: 3}
+	if p.Precision() != 0.75 {
+		t.Fatalf("precision = %v", p.Precision())
+	}
+}

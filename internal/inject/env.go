@@ -1,0 +1,122 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/confparse"
+	"repro/internal/sysimage"
+)
+
+// Environment error models. Section 8 of the paper observes that
+// configuration-testing tools can use EnCore for "new error injection
+// opportunities such as erroneous environment settings": errors that leave
+// the configuration file byte-identical and corrupt only the environment
+// the configuration refers to. A pure value-comparison detector can never
+// see these.
+const (
+	KindEnvChown     Kind = "env-chown"       // referenced path gets a wrong owner
+	KindEnvChmod     Kind = "env-chmod"       // referenced path gets wrong permissions
+	KindEnvRemove    Kind = "env-remove"      // referenced path disappears
+	KindEnvFileAsDir Kind = "env-file-as-dir" // referenced directory becomes a file
+	KindEnvDropUser  Kind = "env-drop-user"   // referenced account disappears
+)
+
+// EnvInject applies n environment errors to paths and accounts referenced
+// by the app's configuration, without touching the configuration file.
+// Each error hits a distinct environment object.
+func (in *Injector) EnvInject(img *sysimage.Image, app string, n int) ([]Injection, error) {
+	cf := img.ConfigFor(app)
+	if cf == nil {
+		return nil, fmt.Errorf("inject: image %s has no %s configuration", img.ID, app)
+	}
+	f, err := confparse.Parse(app, cf.Path, cf.Content)
+	if err != nil {
+		return nil, fmt.Errorf("inject: %w", err)
+	}
+
+	// Collect injectable references: configured paths that exist and
+	// configured accounts that exist.
+	type ref struct {
+		attr  string
+		value string
+		kind  byte // 'p' path, 'u' user
+	}
+	var refs []ref
+	seen := map[string]bool{}
+	for _, e := range f.Entries {
+		for i, v := range e.Values {
+			attr := app + ":" + e.Name()
+			if len(e.Values) > 1 {
+				attr = fmt.Sprintf("%s/arg%d", attr, i+1)
+			}
+			switch {
+			case len(v) > 1 && v[0] == '/' && img.Exists(v):
+				if !seen["p"+v] {
+					seen["p"+v] = true
+					refs = append(refs, ref{attr: attr, value: v, kind: 'p'})
+				}
+			case img.UserExists(v) && v != "root":
+				if !seen["u"+v] {
+					seen["u"+v] = true
+					refs = append(refs, ref{attr: attr, value: v, kind: 'u'})
+				}
+			}
+		}
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("inject: %s configuration references no live environment objects", app)
+	}
+
+	var log []Injection
+	for _, idx := range in.rng.Perm(len(refs)) {
+		if len(log) >= n {
+			break
+		}
+		r := refs[idx]
+		inj := Injection{Attr: r.attr, OrigAttr: r.attr, Before: r.value}
+		switch r.kind {
+		case 'p':
+			fm := img.Lookup(r.value)
+			// Only mutations that actually change state are eligible:
+			// chowning a root-owned path to root would be a silent no-op.
+			models := []Kind{KindEnvChmod, KindEnvRemove}
+			if fm.Owner != "root" {
+				models = append(models, KindEnvChown)
+			}
+			if fm.Kind == sysimage.KindDir {
+				models = append(models, KindEnvFileAsDir)
+			}
+			switch models[in.rng.Intn(len(models))] {
+			case KindEnvChown:
+				inj.Kind = KindEnvChown
+				fm.Owner, fm.Group = "root", "root"
+				inj.After = "owner=root"
+			case KindEnvChmod:
+				inj.Kind = KindEnvChmod
+				if fm.Mode&0o004 != 0 {
+					fm.Mode &^= 0o077 // strip group/other bits
+				} else {
+					fm.Mode |= 0o007 // expose to everyone
+				}
+				inj.After = fmt.Sprintf("mode=0%o", fm.Mode&0o777)
+			case KindEnvRemove:
+				inj.Kind = KindEnvRemove
+				delete(img.Files, fm.Path)
+				inj.After = "<deleted>"
+			case KindEnvFileAsDir:
+				inj.Kind = KindEnvFileAsDir
+				fm.Kind = sysimage.KindFile
+				inj.After = "kind=file"
+			}
+		case 'u':
+			inj.Kind = KindEnvDropUser
+			delete(img.Users, r.value)
+			inj.After = "<account removed>"
+		}
+		log = append(log, inj)
+	}
+	if len(log) < n {
+		return log, fmt.Errorf("inject: only %d of %d environment errors injected", len(log), n)
+	}
+	return log, nil
+}

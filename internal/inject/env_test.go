@@ -1,0 +1,136 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sysimage"
+)
+
+func envVictim() *sysimage.Image {
+	im := sysimage.New("env-victim")
+	im.Users["mysql"] = &sysimage.User{Name: "mysql", UID: 27, GID: 27}
+	im.Groups["mysql"] = &sysimage.Group{Name: "mysql", GID: 27}
+	im.AddDir("/var/lib/mysql", "mysql", "mysql", 0o750)
+	im.AddRegular("/var/log/mysqld.log", "mysql", "mysql", 0o640, 100)
+	im.AddRegular("/var/run/mysqld.pid", "mysql", "mysql", 0o644, 8)
+	im.AddDir("/tmp", "root", "root", 0o777)
+	im.SetConfig("mysql", "/etc/my.cnf", strings.Join([]string{
+		"[mysqld]",
+		"datadir = /var/lib/mysql",
+		"user = mysql",
+		"log-error = /var/log/mysqld.log",
+		"pid-file = /var/run/mysqld.pid",
+		"tmpdir = /tmp",
+		"",
+	}, "\n"))
+	return im
+}
+
+func TestEnvInjectLeavesConfigUntouched(t *testing.T) {
+	im := envVictim()
+	before := im.ConfigFor("mysql").Content
+	log, err := New(3).EnvInject(im, "mysql", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("log = %d", len(log))
+	}
+	if im.ConfigFor("mysql").Content != before {
+		t.Fatal("environment injection must not modify the configuration file")
+	}
+}
+
+func TestEnvInjectMutatesEnvironment(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		im := envVictim()
+		orig := envVictim()
+		log, err := New(seed).EnvInject(im, "mysql", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed := 0
+		for _, inj := range log {
+			switch inj.Kind {
+			case KindEnvRemove:
+				if im.Exists(inj.Before) {
+					t.Fatalf("%s: path still exists", inj)
+				}
+				changed++
+			case KindEnvChown:
+				fm := im.Lookup(inj.Before)
+				if fm == nil || fm.Owner != "root" {
+					t.Fatalf("%s: owner not changed", inj)
+				}
+				changed++
+			case KindEnvChmod:
+				a, b := im.Lookup(inj.Before), orig.Lookup(inj.Before)
+				if a == nil || b == nil || a.Mode == b.Mode {
+					t.Fatalf("%s: mode not changed", inj)
+				}
+				changed++
+			case KindEnvFileAsDir:
+				fm := im.Lookup(inj.Before)
+				if fm == nil || fm.Kind != sysimage.KindFile {
+					t.Fatalf("%s: kind not changed", inj)
+				}
+				changed++
+			case KindEnvDropUser:
+				if im.UserExists(inj.Before) {
+					t.Fatalf("%s: user still exists", inj)
+				}
+				changed++
+			default:
+				t.Fatalf("unexpected kind %s", inj.Kind)
+			}
+		}
+		if changed != len(log) {
+			t.Fatalf("seed %d: %d of %d mutations verified", seed, changed, len(log))
+		}
+	}
+}
+
+func TestEnvInjectDeterministic(t *testing.T) {
+	a, b := envVictim(), envVictim()
+	logA, errA := New(5).EnvInject(a, "mysql", 4)
+	logB, errB := New(5).EnvInject(b, "mysql", 4)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("injection %d differs", i)
+		}
+	}
+}
+
+func TestEnvInjectDistinctObjects(t *testing.T) {
+	im := envVictim()
+	log, err := New(2).EnvInject(im, "mysql", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, inj := range log {
+		if seen[inj.Before] {
+			t.Fatalf("object %s hit twice", inj.Before)
+		}
+		seen[inj.Before] = true
+	}
+}
+
+func TestEnvInjectErrors(t *testing.T) {
+	im := envVictim()
+	if _, err := New(1).EnvInject(im, "apache", 1); err == nil {
+		t.Fatal("missing app should error")
+	}
+	if _, err := New(1).EnvInject(im, "mysql", 50); err == nil {
+		t.Fatal("too many errors should fail")
+	}
+	bare := sysimage.New("bare")
+	bare.SetConfig("mysql", "/etc/my.cnf", "[mysqld]\nnovalue = 42\n")
+	if _, err := New(1).EnvInject(bare, "mysql", 1); err == nil {
+		t.Fatal("no live references should error")
+	}
+}

@@ -1,0 +1,335 @@
+// Package inject is the ConfErr substitute: it injects realistic
+// configuration errors into an image's configuration file for the
+// injection study (Table 8).
+//
+// The error models follow ConfErr's taxonomy — typographical errors
+// (keyboard-proximity typos in entry names and values), structural errors
+// (entries moved to the wrong section, omitted entries), and semantic
+// errors (numeric/size perturbations, broken paths, swapped identities,
+// flipped booleans). As in the paper, injection stays within the scope of
+// the configuration file: it never changes file ownership or permissions in
+// the environment.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/confparse"
+	"repro/internal/conftypes"
+	"repro/internal/sysimage"
+)
+
+// Kind labels an error model.
+type Kind string
+
+// The error models.
+const (
+	KindNameTypo    Kind = "name-typo"    // misspelled entry name
+	KindValueTypo   Kind = "value-typo"   // misspelled value
+	KindOmission    Kind = "omission"     // entry deleted
+	KindNumeric     Kind = "numeric"      // numeric value perturbed
+	KindSizeJump    Kind = "size-jump"    // size value scaled way up
+	KindPathBreak   Kind = "path-break"   // path truncated/mangled
+	KindIdentity    Kind = "identity"     // user/group swapped
+	KindBooleanFlip Kind = "boolean-flip" // on<->off
+	KindSectionMove Kind = "section-move" // entry moved to wrong section
+)
+
+// Injection records one injected error.
+type Injection struct {
+	Kind Kind
+	// Attr is the canonical attribute name of the affected entry
+	// (app-prefixed, as the assembler names it). For name typos this is
+	// the *new* (misspelled) name; OrigAttr holds the original.
+	Attr     string
+	OrigAttr string
+	Before   string
+	After    string
+}
+
+// String describes the injection.
+func (in Injection) String() string {
+	return fmt.Sprintf("%s %s: %q -> %q", in.Kind, in.OrigAttr, in.Before, in.After)
+}
+
+// Matches reports whether a warning attribute refers to this injection's
+// entry: the attribute itself, an argument column, or an augmented
+// attribute derived from it. Name typos match on the misspelled name.
+func (in Injection) Matches(attr string) bool {
+	for _, base := range []string{in.Attr, in.OrigAttr} {
+		if base == "" {
+			continue
+		}
+		if attr == base {
+			return true
+		}
+		if strings.HasPrefix(attr, base) && len(attr) > len(base) {
+			switch attr[len(base)] {
+			case '.', '/':
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Injector applies seeded, reproducible error models.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New returns an injector seeded for reproducibility.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// keyboard maps each lowercase key to its physical neighbours, for
+// ConfErr-style proximity typos.
+var keyboard = map[rune]string{
+	'a': "sqzw", 'b': "vngh", 'c': "xdfv", 'd': "sfer", 'e': "wrds",
+	'f': "dgrt", 'g': "fhty", 'h': "gjyu", 'i': "uojk", 'j': "hkui",
+	'k': "jlio", 'l': "kop", 'm': "njk", 'n': "bmhj", 'o': "ipkl",
+	'p': "ol", 'q': "wa", 'r': "etdf", 's': "adwx", 't': "ryfg",
+	'u': "yihj", 'v': "cfgb", 'w': "qesa", 'x': "zcsd", 'y': "tugh",
+	'z': "xas", '_': "-", '-': "_",
+}
+
+// typo applies one keyboard-proximity substitution, insertion, or deletion
+// to s.
+func (in *Injector) typo(s string) string {
+	if s == "" {
+		return "x"
+	}
+	runes := []rune(s)
+	pos := in.rng.Intn(len(runes))
+	switch in.rng.Intn(3) {
+	case 0: // substitute with a neighbour
+		if ns, ok := keyboard[runes[pos]]; ok && len(ns) > 0 {
+			runes[pos] = rune(ns[in.rng.Intn(len(ns))])
+			return string(runes)
+		}
+		return string(runes[:pos]) + string(runes[pos:])[1:] // fall back to deletion
+	case 1: // delete
+		return string(runes[:pos]) + string(runes[pos+1:])
+	default: // duplicate (insertion)
+		return string(runes[:pos+1]) + string(runes[pos:])
+	}
+}
+
+// applicable returns the error models that make sense for an entry given
+// its value. Entry omission (KindOmission) is deliberately excluded from
+// random campaigns: ConfErr's omission errors are character-level (covered
+// by the typo model); silently *removing* an entry is undetectable for
+// every peer-comparison approach and would only add noise to Table 8.
+func (in *Injector) applicable(e *confparse.Entry) []Kind {
+	kinds := []Kind{KindNameTypo}
+	v := e.Value()
+	if v == "" {
+		return kinds
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		kinds = append(kinds, KindNumeric)
+	}
+	if _, ok := conftypes.ParseSize(v); ok && !isPlainNumber(v) {
+		kinds = append(kinds, KindSizeJump)
+	}
+	if strings.HasPrefix(v, "/") {
+		kinds = append(kinds, KindPathBreak)
+	}
+	if conftypes.IsBooleanWord(v) {
+		kinds = append(kinds, KindBooleanFlip)
+	}
+	if isIdentifier(v) && !conftypes.IsBooleanWord(v) {
+		kinds = append(kinds, KindIdentity, KindValueTypo)
+	}
+	if e.Section != "" {
+		kinds = append(kinds, KindSectionMove)
+	}
+	return kinds
+}
+
+func isPlainNumber(v string) bool {
+	_, err := strconv.ParseFloat(v, 64)
+	return err == nil
+}
+
+func isIdentifier(v string) bool {
+	for _, r := range v {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '-') {
+			return false
+		}
+	}
+	return v != ""
+}
+
+// Inject applies n random errors to the app's configuration inside img,
+// mutating the image in place, and returns the injection log. Each error
+// hits a distinct entry.
+func (in *Injector) Inject(img *sysimage.Image, app string, n int) ([]Injection, error) {
+	cf := img.ConfigFor(app)
+	if cf == nil {
+		return nil, fmt.Errorf("inject: image %s has no %s configuration", img.ID, app)
+	}
+	f, err := confparse.Parse(app, cf.Path, cf.Content)
+	if err != nil {
+		return nil, fmt.Errorf("inject: %w", err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("inject: %s configuration is empty", app)
+	}
+
+	// Snapshot entries before mutating: omission shrinks f.Entries.
+	entries := append([]*confparse.Entry(nil), f.Entries...)
+	var log []Injection
+	used := map[int]bool{}
+	// A randomly drawn error model can be inapplicable to the drawn entry;
+	// make several passes so such misses retry with a different model.
+	for pass := 0; pass < 4 && len(log) < n; pass++ {
+		for _, idx := range in.rng.Perm(len(entries)) {
+			if len(log) >= n {
+				break
+			}
+			if used[idx] {
+				continue
+			}
+			e := entries[idx]
+			kinds := in.applicable(e)
+			kind := kinds[in.rng.Intn(len(kinds))]
+			inj, ok := in.apply(f, e, app, kind)
+			if !ok {
+				continue
+			}
+			used[idx] = true
+			log = append(log, inj)
+		}
+	}
+	if len(log) < n {
+		return log, fmt.Errorf("inject: only %d of %d errors injected (config too small)", len(log), n)
+	}
+	rendered, err := confparse.Render(f)
+	if err != nil {
+		return nil, err
+	}
+	img.SetConfig(app, cf.Path, rendered)
+	return log, nil
+}
+
+func (in *Injector) apply(f *confparse.File, e *confparse.Entry, app string, kind Kind) (Injection, bool) {
+	orig := app + ":" + e.Name()
+	before := e.Value()
+	inj := Injection{Kind: kind, Attr: orig, OrigAttr: orig, Before: before}
+	switch kind {
+	case KindNameTypo:
+		newKey := in.typo(e.Key)
+		if newKey == e.Key || newKey == "" {
+			return inj, false
+		}
+		e.Key = newKey
+		inj.Attr = app + ":" + e.Name()
+		inj.After = before
+	case KindValueTypo:
+		nv := in.typo(before)
+		if nv == before {
+			return inj, false
+		}
+		e.Values = []string{nv}
+		inj.After = nv
+	case KindOmission:
+		removed := false
+		for i, cur := range f.Entries {
+			if cur == e {
+				f.Entries = append(f.Entries[:i], f.Entries[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return inj, false
+		}
+		inj.After = "<removed>"
+	case KindNumeric:
+		x, err := strconv.ParseFloat(before, 64)
+		if err != nil {
+			return inj, false
+		}
+		factor := []float64{0, 10, 100, -1}[in.rng.Intn(4)]
+		nv := strconv.FormatFloat(x*factor, 'f', -1, 64)
+		if factor == -1 {
+			nv = strconv.FormatFloat(-x, 'f', -1, 64)
+		}
+		if nv == before {
+			nv = strconv.FormatFloat(x+17, 'f', -1, 64)
+		}
+		e.Values = []string{nv}
+		inj.After = nv
+	case KindSizeJump:
+		bytes, ok := conftypes.ParseSize(before)
+		if !ok || bytes == 0 {
+			return inj, false
+		}
+		nv := conftypes.FormatSize(bytes * 1024)
+		e.Values = []string{nv}
+		inj.After = nv
+	case KindPathBreak:
+		if len(before) < 3 {
+			return inj, false
+		}
+		nv := before[:len(before)-1-in.rng.Intn(len(before)/2)]
+		if nv == "" || nv == before {
+			return inj, false
+		}
+		e.Values = []string{nv}
+		inj.After = nv
+	case KindIdentity:
+		candidates := []string{"root", "daemon", "games", "backup"}
+		nv := candidates[in.rng.Intn(len(candidates))]
+		if nv == before {
+			nv = "nobody2"
+		}
+		e.Values = []string{nv}
+		inj.After = nv
+	case KindBooleanFlip:
+		nv := flipBool(before)
+		if nv == before {
+			return inj, false
+		}
+		e.Values = []string{nv}
+		inj.After = nv
+	case KindSectionMove:
+		if e.Section == "" {
+			return inj, false
+		}
+		e.Section = "misc"
+		inj.Attr = app + ":" + e.Name()
+		inj.After = before
+	default:
+		return inj, false
+	}
+	return inj, true
+}
+
+func flipBool(v string) string {
+	switch strings.ToLower(v) {
+	case "on":
+		return "Off"
+	case "off":
+		return "On"
+	case "true":
+		return "false"
+	case "false":
+		return "true"
+	case "yes":
+		return "no"
+	case "no":
+		return "yes"
+	case "1":
+		return "0"
+	case "0":
+		return "1"
+	default:
+		return v
+	}
+}

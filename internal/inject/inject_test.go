@@ -1,0 +1,193 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/confparse"
+	"repro/internal/sysimage"
+)
+
+func testImage() *sysimage.Image {
+	im := sysimage.New("victim")
+	im.AddDir("/var/lib/mysql", "mysql", "mysql", 0o750)
+	im.SetConfig("mysql", "/etc/my.cnf", strings.Join([]string{
+		"[mysqld]",
+		"datadir = /var/lib/mysql",
+		"user = mysql",
+		"port = 3306",
+		"max_allowed_packet = 16M",
+		"skip-external-locking",
+		"key_buffer_size = 8M",
+		"max_connections = 100",
+		"log_error = /var/log/mysqld.log",
+		"tmpdir = /tmp",
+		"bind-address = 127.0.0.1",
+		"table_open_cache = 64",
+		"sort_buffer_size = 512K",
+		"net_buffer_length = 8K",
+		"read_buffer_size = 256K",
+		"thread_cache_size = 8",
+		"query_cache_size = 16M",
+		"",
+	}, "\n"))
+	return im
+}
+
+func TestInjectIsDeterministic(t *testing.T) {
+	a, b := testImage(), testImage()
+	logA, errA := New(42).Inject(a, "mysql", 5)
+	logB, errB := New(42).Inject(b, "mysql", 5)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if len(logA) != 5 || len(logB) != 5 {
+		t.Fatalf("log sizes %d %d", len(logA), len(logB))
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("injection %d differs: %v vs %v", i, logA[i], logB[i])
+		}
+	}
+	if a.ConfigFor("mysql").Content != b.ConfigFor("mysql").Content {
+		t.Fatal("same seed must produce same config")
+	}
+}
+
+func TestInjectChangesConfig(t *testing.T) {
+	im := testImage()
+	before := im.ConfigFor("mysql").Content
+	log, err := New(7).Inject(im, "mysql", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := im.ConfigFor("mysql").Content
+	if before == after {
+		t.Fatal("config unchanged")
+	}
+	if len(log) != 8 {
+		t.Fatalf("log = %d", len(log))
+	}
+	// The mutated config must still parse.
+	if _, err := confparse.Parse("mysql", "/etc/my.cnf", after); err != nil {
+		t.Fatalf("mutated config unparsable: %v\n%s", err, after)
+	}
+}
+
+func TestInjectionsHitDistinctEntries(t *testing.T) {
+	im := testImage()
+	log, err := New(3).Inject(im, "mysql", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, inj := range log {
+		if seen[inj.OrigAttr] {
+			t.Fatalf("entry %s hit twice", inj.OrigAttr)
+		}
+		seen[inj.OrigAttr] = true
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	im := testImage()
+	if _, err := New(1).Inject(im, "apache", 1); err == nil {
+		t.Fatal("missing app config should error")
+	}
+	small := sysimage.New("small")
+	small.SetConfig("mysql", "/etc/my.cnf", "[mysqld]\nuser = mysql\n")
+	if _, err := New(1).Inject(small, "mysql", 50); err == nil {
+		t.Fatal("too many injections should error")
+	}
+	empty := sysimage.New("empty")
+	empty.SetConfig("mysql", "/etc/my.cnf", "")
+	if _, err := New(1).Inject(empty, "mysql", 1); err == nil {
+		t.Fatal("empty config should error")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	inj := Injection{Attr: "mysql:mysqld/datadir", OrigAttr: "mysql:mysqld/datadir"}
+	for _, attr := range []string{
+		"mysql:mysqld/datadir",
+		"mysql:mysqld/datadir.owner",
+		"mysql:mysqld/datadir/arg1",
+	} {
+		if !inj.Matches(attr) {
+			t.Errorf("should match %s", attr)
+		}
+	}
+	for _, attr := range []string{
+		"mysql:mysqld/datadir2",
+		"mysql:mysqld/user",
+		"",
+	} {
+		if inj.Matches(attr) {
+			t.Errorf("should not match %s", attr)
+		}
+	}
+	// A renamed (typo) entry matches both old and new names.
+	typo := Injection{Kind: KindNameTypo, Attr: "mysql:mysqld/datadri", OrigAttr: "mysql:mysqld/datadir"}
+	if !typo.Matches("mysql:mysqld/datadri") || !typo.Matches("mysql:mysqld/datadir") {
+		t.Fatal("typo should match both names")
+	}
+}
+
+func TestTypoAlwaysChanges(t *testing.T) {
+	in := New(11)
+	for i := 0; i < 200; i++ {
+		s := "datadir"
+		got := in.typo(s)
+		if got == "" {
+			t.Fatal("typo produced empty string")
+		}
+	}
+	if in.typo("") != "x" {
+		t.Fatal("typo of empty should produce something")
+	}
+}
+
+func TestFlipBool(t *testing.T) {
+	pairs := map[string]string{"on": "Off", "off": "On", "true": "false", "yes": "no", "1": "0", "0": "1"}
+	for in, want := range pairs {
+		if got := flipBool(in); got != want {
+			t.Errorf("flip(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if flipBool("weird") != "weird" {
+		t.Error("unknown word should pass through")
+	}
+}
+
+func TestErrorModelDistribution(t *testing.T) {
+	// Across many seeds, several distinct error kinds must appear — the
+	// campaign should not degenerate to one model.
+	kinds := map[Kind]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		im := testImage()
+		log, err := New(seed).Inject(im, "mysql", 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inj := range log {
+			kinds[inj.Kind] = true
+		}
+	}
+	if len(kinds) < 5 {
+		t.Fatalf("only %d error kinds observed: %v", len(kinds), kinds)
+	}
+}
+
+func TestInjectionStringAndLog(t *testing.T) {
+	im := testImage()
+	log, err := New(5).Inject(im, "mysql", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range log {
+		s := inj.String()
+		if !strings.Contains(s, string(inj.Kind)) || !strings.Contains(s, inj.OrigAttr) {
+			t.Fatalf("String() = %q", s)
+		}
+	}
+}

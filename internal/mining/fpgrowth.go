@@ -1,0 +1,157 @@
+package mining
+
+import "sort"
+
+// FPGrowth mines frequent item sets without candidate generation: it
+// compresses the transactions into an FP-tree and recursively mines
+// conditional trees per item. It avoids Apriori's repeated scans but the
+// number of frequent item sets it materializes still grows exponentially
+// with attribute count on dense configuration data — the Table 3 blow-up.
+type FPGrowth struct {
+	// MaxSets bounds the total number of frequent item sets materialized;
+	// 0 means unlimited.
+	MaxSets int
+}
+
+// Name implements Miner.
+func (f *FPGrowth) Name() string { return "fp-growth" }
+
+type fpNode struct {
+	item     int
+	count    int
+	parent   *fpNode
+	children map[int]*fpNode
+	next     *fpNode // header-table sibling chain
+}
+
+type fpTree struct {
+	root    *fpNode
+	headers map[int]*fpNode // item -> first node in chain
+	counts  map[int]int     // item -> total support in this tree
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{item: -1, children: make(map[int]*fpNode)},
+		headers: make(map[int]*fpNode),
+		counts:  make(map[int]int),
+	}
+}
+
+// insert adds a (sorted-by-frequency) transaction with a count.
+func (t *fpTree) insert(items []int, count int) {
+	node := t.root
+	for _, it := range items {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: make(map[int]*fpNode)}
+			node.children[it] = child
+			child.next = t.headers[it]
+			t.headers[it] = child
+		}
+		child.count += count
+		t.counts[it] += count
+		node = child
+	}
+}
+
+// Mine implements Miner.
+func (f *FPGrowth) Mine(txns [][]int, minSupport int) (*Result, error) {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	counts := countSingletons(txns)
+
+	// Order items by descending global frequency (ties by id) and filter
+	// infrequent ones.
+	rank := make(map[int]int)
+	var order []int
+	for it, c := range counts {
+		if c >= minSupport {
+			order = append(order, it)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for r, it := range order {
+		rank[it] = r
+	}
+
+	tree := newFPTree()
+	buf := make([]int, 0, 32)
+	for _, txn := range txns {
+		buf = buf[:0]
+		for _, it := range txn {
+			if _, ok := rank[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		if len(buf) > 0 {
+			tree.insert(buf, 1)
+		}
+	}
+
+	res := &Result{}
+	if err := f.growth(tree, nil, minSupport, res); err != nil {
+		return nil, err
+	}
+	sortSets(res.Sets)
+	res.Count = len(res.Sets)
+	return res, nil
+}
+
+// growth recursively mines the tree, extending the current suffix.
+func (f *FPGrowth) growth(tree *fpTree, suffix []int, minSupport int, res *Result) error {
+	// Items in ascending frequency within this conditional tree.
+	var items []int
+	for it, c := range tree.counts {
+		if c >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if tree.counts[items[i]] != tree.counts[items[j]] {
+			return tree.counts[items[i]] < tree.counts[items[j]]
+		}
+		return items[i] < items[j]
+	})
+
+	for _, it := range items {
+		newSet := make([]int, 0, len(suffix)+1)
+		newSet = append(newSet, suffix...)
+		newSet = append(newSet, it)
+		sorted := append([]int(nil), newSet...)
+		sort.Ints(sorted)
+		res.Sets = append(res.Sets, FrequentSet{Items: sorted, Support: tree.counts[it]})
+		if f.MaxSets > 0 && len(res.Sets) > f.MaxSets {
+			return ErrBudgetExceeded
+		}
+
+		// Build the conditional pattern base for this item.
+		cond := newFPTree()
+		for node := tree.headers[it]; node != nil; node = node.next {
+			var path []int
+			for p := node.parent; p != nil && p.item != -1; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is leaf-to-root; reverse to root-to-leaf.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			if len(path) > 0 {
+				cond.insert(path, node.count)
+			}
+		}
+		if len(cond.counts) > 0 {
+			if err := f.growth(cond, newSet, minSupport, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

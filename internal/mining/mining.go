@@ -1,0 +1,80 @@
+// Package mining provides from-scratch implementations of the two
+// association-rule miners the paper evaluates in its motivation study
+// (Section 2.2, Table 3): Apriori and FP-Growth.
+//
+// Both mine frequent item sets from boolean transactions (the binomially
+// discretized configuration data). Both accept a memory budget — a cap on
+// the number of frequent item sets materialized — so the paper's
+// out-of-memory terminations past ~200 attributes are reproduced as a
+// budget-exceeded error rather than by actually exhausting the host.
+package mining
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBudgetExceeded is returned when a miner materializes more frequent
+// item sets than its budget allows; it corresponds to the OOM rows of
+// Table 3.
+var ErrBudgetExceeded = errors.New("mining: frequent item set budget exceeded (simulated OOM)")
+
+// FrequentSet is a frequent item set with its absolute support.
+type FrequentSet struct {
+	Items   []int
+	Support int
+}
+
+// Result summarizes one mining run.
+type Result struct {
+	Sets []FrequentSet
+	// Count is the number of frequent item sets found (== len(Sets)).
+	Count int
+}
+
+// Miner mines frequent item sets from transactions.
+type Miner interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Mine returns all item sets with support >= minSupport. Transactions
+	// must be sorted, duplicate-free item-id slices.
+	Mine(txns [][]int, minSupport int) (*Result, error)
+}
+
+// countSingletons tallies per-item support.
+func countSingletons(txns [][]int) map[int]int {
+	counts := make(map[int]int)
+	for _, t := range txns {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// keyOf builds a map key for an item set.
+func keyOf(items []int) string {
+	// Item ids are small ints; a compact byte key avoids fmt overhead.
+	b := make([]byte, 0, len(items)*3)
+	for _, it := range items {
+		b = append(b, byte(it>>16), byte(it>>8), byte(it))
+	}
+	return string(b)
+}
+
+// sortSets orders frequent sets deterministically (by length, then
+// lexicographic items).
+func sortSets(sets []FrequentSet) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i].Items, sets[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,210 @@
+package mining
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// classic is a small, hand-checkable transaction database.
+//
+//	t0: {0,1,2}  t1: {0,1}  t2: {0,2}  t3: {1,2}  t4: {0,1,2}
+//
+// With minSupport=3: frequent singletons {0}:4 {1}:4 {2}:4; pairs
+// {0,1}:3 {0,2}:3 {1,2}:3; triple {0,1,2}:2 (infrequent).
+var classic = [][]int{
+	{0, 1, 2},
+	{0, 1},
+	{0, 2},
+	{1, 2},
+	{0, 1, 2},
+}
+
+func supports(res *Result) map[string]int {
+	out := map[string]int{}
+	for _, s := range res.Sets {
+		out[keyOf(s.Items)] = s.Support
+	}
+	return out
+}
+
+func miners() []Miner {
+	return []Miner{&Apriori{}, &FPGrowth{}}
+}
+
+func TestClassicDatabase(t *testing.T) {
+	for _, m := range miners() {
+		res, err := m.Mine(classic, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		got := supports(res)
+		want := map[string]int{
+			keyOf([]int{0}):    4,
+			keyOf([]int{1}):    4,
+			keyOf([]int{2}):    4,
+			keyOf([]int{0, 1}): 3,
+			keyOf([]int{0, 2}): 3,
+			keyOf([]int{1, 2}): 3,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sets = %v, want %v", m.Name(), got, want)
+		}
+	}
+}
+
+func TestTripleFrequent(t *testing.T) {
+	for _, m := range miners() {
+		res, err := m.Mine(classic, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		got := supports(res)
+		if got[keyOf([]int{0, 1, 2})] != 2 {
+			t.Fatalf("%s: triple support = %d, want 2", m.Name(), got[keyOf([]int{0, 1, 2})])
+		}
+		if len(res.Sets) != 7 {
+			t.Fatalf("%s: count = %d, want 7", m.Name(), len(res.Sets))
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	for _, m := range miners() {
+		res, err := m.Mine(nil, 1)
+		if err != nil || len(res.Sets) != 0 {
+			t.Fatalf("%s: empty db: %v %v", m.Name(), res.Sets, err)
+		}
+		res, err = m.Mine([][]int{{}, {}}, 1)
+		if err != nil || len(res.Sets) != 0 {
+			t.Fatalf("%s: empty txns: %v %v", m.Name(), res.Sets, err)
+		}
+		// minSupport below 1 is clamped.
+		res, err = m.Mine([][]int{{1}}, 0)
+		if err != nil || len(res.Sets) != 1 {
+			t.Fatalf("%s: clamp: %v %v", m.Name(), res.Sets, err)
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	// A dense database: 12 items always together => 2^12-1 frequent sets.
+	txn := make([]int, 12)
+	for i := range txn {
+		txn[i] = i
+	}
+	db := [][]int{txn, txn, txn}
+	for _, m := range []Miner{&Apriori{MaxSets: 100}, &FPGrowth{MaxSets: 100}} {
+		_, err := m.Mine(db, 2)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("%s: err = %v, want budget exceeded", m.Name(), err)
+		}
+	}
+	// Without a budget both finish and agree on the count.
+	a, err := (&Apriori{}).Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := (&FPGrowth{}).Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != (1<<12)-1 || f.Count != a.Count {
+		t.Fatalf("counts: apriori=%d fp=%d want %d", a.Count, f.Count, (1<<12)-1)
+	}
+}
+
+func TestMinersAgreeOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nItems := 8 + rng.Intn(6)
+		var db [][]int
+		for i := 0; i < 30; i++ {
+			var txn []int
+			for it := 0; it < nItems; it++ {
+				if rng.Intn(3) == 0 {
+					txn = append(txn, it)
+				}
+			}
+			db = append(db, txn)
+		}
+		min := 2 + rng.Intn(4)
+		a, errA := (&Apriori{}).Mine(db, min)
+		f, errF := (&FPGrowth{}).Mine(db, min)
+		if errA != nil || errF != nil {
+			t.Fatalf("trial %d: %v %v", trial, errA, errF)
+		}
+		sa, sf := supports(a), supports(f)
+		if !reflect.DeepEqual(sa, sf) {
+			t.Fatalf("trial %d: miners disagree: apriori %d sets, fp %d sets", trial, len(sa), len(sf))
+		}
+	}
+}
+
+func TestDownwardClosureProperty(t *testing.T) {
+	// Property: every subset of a frequent set is frequent with at least
+	// the same support.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var db [][]int
+		for i := 0; i < 20; i++ {
+			var txn []int
+			for it := 0; it < 10; it++ {
+				if rng.Intn(2) == 0 {
+					txn = append(txn, it)
+				}
+			}
+			db = append(db, txn)
+		}
+		res, err := (&FPGrowth{}).Mine(db, 3)
+		if err != nil {
+			return false
+		}
+		sup := supports(res)
+		for _, s := range res.Sets {
+			if len(s.Items) < 2 {
+				continue
+			}
+			sub := make([]int, 0, len(s.Items)-1)
+			for skip := range s.Items {
+				sub = sub[:0]
+				for i, it := range s.Items {
+					if i != skip {
+						sub = append(sub, it)
+					}
+				}
+				if sup[keyOf(sub)] < s.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultDeterministic(t *testing.T) {
+	for _, m := range miners() {
+		a, _ := m.Mine(classic, 2)
+		b, _ := m.Mine(classic, 2)
+		if !reflect.DeepEqual(a.Sets, b.Sets) {
+			t.Fatalf("%s: nondeterministic output ordering", m.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&Apriori{}).Name() != "apriori" || (&FPGrowth{}).Name() != "fp-growth" {
+		t.Fatal("miner names wrong")
+	}
+}
+
+func TestKeyOfDistinct(t *testing.T) {
+	if keyOf([]int{1, 2}) == keyOf([]int{1, 3}) || keyOf([]int{1}) == keyOf([]int{1, 0}) {
+		t.Fatal("keyOf collision")
+	}
+}

@@ -1,0 +1,127 @@
+// Package profile serializes learned knowledge — attribute declarations,
+// per-attribute value histograms, and the inferred rules — into a single
+// portable document.
+//
+// The paper notes that "since the checking and the learning are cleanly
+// separated, the learned rules can be reused to check different systems".
+// A Profile is that separation made concrete: it carries everything the
+// anomaly detector consumes about the training population, so a target can
+// be checked on a machine that never saw (and is never shipped) the
+// training images.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/conftypes"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/rules"
+)
+
+// AttrProfile is one attribute's learned summary.
+type AttrProfile struct {
+	Name      string         `json:"name"`
+	Type      string         `json:"type"`
+	Augmented bool           `json:"augmented,omitempty"`
+	Present   int            `json:"present"`
+	Histogram map[string]int `json:"histogram,omitempty"`
+}
+
+// Profile is the serializable learned knowledge.
+type Profile struct {
+	// Samples is the training-population size.
+	Samples int           `json:"samples"`
+	Attrs   []AttrProfile `json:"attrs"`
+	Rules   []*rules.Rule `json:"rules"`
+}
+
+// Build summarizes a training dataset and its learned rules.
+func Build(training *dataset.Dataset, learned []*rules.Rule) *Profile {
+	p := &Profile{Samples: len(training.Rows), Rules: learned}
+	view := detect.DatasetView{D: training}
+	for _, a := range training.Attributes() {
+		p.Attrs = append(p.Attrs, AttrProfile{
+			Name:      a.Name,
+			Type:      string(a.Type),
+			Augmented: a.Augmented,
+			Present:   training.Present(a.Name),
+			Histogram: view.Histogram(a.Name),
+		})
+	}
+	return p
+}
+
+// Marshal serializes the profile to JSON.
+func (p *Profile) Marshal() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Unmarshal parses a serialized profile.
+func Unmarshal(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	return &p, nil
+}
+
+// view adapts a Profile to detect.TrainingView.
+type view struct {
+	p     *Profile
+	index map[string]int
+}
+
+func (v view) attr(i int) dataset.Attribute {
+	a := v.p.Attrs[i]
+	return dataset.Attribute{Name: a.Name, Type: conftypes.Type(a.Type), Augmented: a.Augmented}
+}
+
+// Attr implements detect.TrainingView.
+func (v view) Attr(name string) (dataset.Attribute, bool) {
+	i, ok := v.index[name]
+	if !ok {
+		return dataset.Attribute{}, false
+	}
+	return v.attr(i), true
+}
+
+// Attributes implements detect.TrainingView.
+func (v view) Attributes() []dataset.Attribute {
+	out := make([]dataset.Attribute, len(v.p.Attrs))
+	for i := range v.p.Attrs {
+		out[i] = v.attr(i)
+	}
+	return out
+}
+
+// Present implements detect.TrainingView.
+func (v view) Present(attr string) int {
+	if i, ok := v.index[attr]; ok {
+		return v.p.Attrs[i].Present
+	}
+	return 0
+}
+
+// Histogram implements detect.TrainingView.
+func (v view) Histogram(attr string) map[string]int {
+	if i, ok := v.index[attr]; ok {
+		return v.p.Attrs[i].Histogram
+	}
+	return nil
+}
+
+// Samples implements detect.TrainingView.
+func (v view) Samples() int { return v.p.Samples }
+
+// Detector builds a ready anomaly detector from the profile alone.
+func (p *Profile) Detector() *detect.Detector {
+	idx := make(map[string]int, len(p.Attrs))
+	types := dataset.New()
+	for i, a := range p.Attrs {
+		idx[a.Name] = i
+		types.DeclareAttr(a.Name, conftypes.Type(a.Type), a.Augmented)
+	}
+	return detect.NewFromView(view{p: p, index: idx}, types, p.Rules)
+}

@@ -1,0 +1,155 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assemble"
+	"repro/internal/corpus"
+	"repro/internal/detect"
+	"repro/internal/rules"
+)
+
+func trainedFixture(t *testing.T) (*Profile, *detect.Detector) {
+	t.Helper()
+	images, err := corpus.Training("mysql", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := assemble.New().AssembleTraining(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := rules.NewEngine().Infer(ds, corpus.ByID(images))
+	if len(learned) == 0 {
+		t.Fatal("no rules learned")
+	}
+	return Build(ds, learned), detect.New(ds, learned)
+}
+
+func TestBuildCapturesKnowledge(t *testing.T) {
+	p, _ := trainedFixture(t)
+	if p.Samples != 40 {
+		t.Fatalf("samples = %d", p.Samples)
+	}
+	if len(p.Rules) == 0 || len(p.Attrs) == 0 {
+		t.Fatal("profile empty")
+	}
+	var datadir *AttrProfile
+	for i := range p.Attrs {
+		if p.Attrs[i].Name == "mysql:mysqld/datadir" {
+			datadir = &p.Attrs[i]
+		}
+	}
+	if datadir == nil {
+		t.Fatal("datadir attr missing")
+	}
+	if datadir.Type != "FilePath" || datadir.Present != 40 {
+		t.Fatalf("datadir profile = %+v", datadir)
+	}
+	total := 0
+	for _, c := range datadir.Histogram {
+		total += c
+	}
+	if total != 40 {
+		t.Fatalf("histogram mass = %d", total)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, _ := trainedFixture(t)
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples != p.Samples || len(back.Attrs) != len(p.Attrs) || len(back.Rules) != len(p.Rules) {
+		t.Fatal("round trip lost data")
+	}
+	if _, err := Unmarshal([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+}
+
+// TestProfileDetectorMatchesLiveDetector is the separation guarantee: a
+// detector rebuilt from the serialized profile produces the same report as
+// one holding the live training dataset.
+func TestProfileDetectorMatchesLiveDetector(t *testing.T) {
+	p, live := trainedFixture(t)
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromProfile := back.Detector()
+
+	target := corpus.RealWorldCases()[2].Build() // datadir wrong owner
+	liveReport, err := live.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profReport, err := fromProfile.Check(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveReport.Warnings) != len(profReport.Warnings) {
+		t.Fatalf("warning counts differ: live %d vs profile %d\nlive: %v\nprofile: %v",
+			len(liveReport.Warnings), len(profReport.Warnings),
+			messages(liveReport), messages(profReport))
+	}
+	for i := range liveReport.Warnings {
+		lw, pw := liveReport.Warnings[i], profReport.Warnings[i]
+		if lw.Kind != pw.Kind || lw.Attr != pw.Attr || lw.Score != pw.Score {
+			t.Fatalf("warning %d differs: %+v vs %+v", i, lw, pw)
+		}
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	p, _ := trainedFixture(t)
+	dt := p.Detector()
+	v := dt.Training
+	if v.Samples() != 40 {
+		t.Fatalf("samples = %d", v.Samples())
+	}
+	if _, ok := v.Attr("mysql:mysqld/user"); !ok {
+		t.Fatal("user attr missing from view")
+	}
+	if _, ok := v.Attr("ghost"); ok {
+		t.Fatal("ghost attr should be absent")
+	}
+	if v.Present("ghost") != 0 || v.Histogram("ghost") != nil {
+		t.Fatal("ghost attr should have empty stats")
+	}
+	if len(v.Attributes()) != len(p.Attrs) {
+		t.Fatal("Attributes length mismatch")
+	}
+}
+
+func messages(r *detect.Report) []string {
+	out := make([]string, len(r.Warnings))
+	for i, w := range r.Warnings {
+		out[i] = string(w.Kind) + ":" + w.Attr
+	}
+	return out
+}
+
+func TestProfileJSONShape(t *testing.T) {
+	p, _ := trainedFixture(t)
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"samples": 40`, `"attrs"`, `"rules"`, `"histogram"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized profile missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package rules implements EnCore's template-guided rule inference
+// (Section 5, Figure 5): for each template, find the attributes eligible by
+// semantic type, instantiate every candidate pair, validate each candidate
+// against every training system, and keep the candidates that pass the
+// support, confidence, and entropy filters.
+//
+// Instantiation of one candidate is independent of every other candidate
+// (zero shared state), so the engine evaluates candidates on a worker pool
+// sized to the machine — the same parallelism the paper exploits with a
+// multi-process implementation.
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/sysimage"
+	"repro/internal/templates"
+)
+
+// Rule is a concrete instantiation of a template: the placeholders are
+// filled with attribute names, and the training-set statistics are
+// recorded.
+type Rule struct {
+	Template   string  `json:"template"`
+	Spec       string  `json:"spec"`
+	AttrA      string  `json:"attrA"`
+	AttrB      string  `json:"attrB"`
+	Support    int     `json:"support"`    // systems where both attributes co-occur
+	Valid      int     `json:"valid"`      // systems where the relation holds
+	Confidence float64 `json:"confidence"` // Valid / applicable systems
+	EntropyA   float64 `json:"entropyA"`
+	EntropyB   float64 `json:"entropyB"`
+}
+
+// String renders the rule for reports.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s(%s, %s) support=%d conf=%.2f", r.Template, r.AttrA, r.AttrB, r.Support, r.Confidence)
+}
+
+// Key identifies a rule regardless of statistics.
+func (r *Rule) Key() string { return r.Template + "|" + r.AttrA + "|" + r.AttrB }
+
+// Config holds the inference thresholds (Section 5.2 defaults).
+type Config struct {
+	// MinConfidence is the minimum fraction of applicable systems on which
+	// the relation must hold (paper: 0.90).
+	MinConfidence float64
+	// MinSupportFraction is the minimum fraction of training systems in
+	// which both attributes must co-occur (paper: 0.10).
+	MinSupportFraction float64
+	// EntropyThreshold is Ht; attributes at or below it are excluded.
+	// Set UseEntropyFilter=false to disable (Table 13's ablation).
+	EntropyThreshold float64
+	UseEntropyFilter bool
+	// Workers bounds the candidate-evaluation pool; 0 means NumCPU.
+	Workers int
+}
+
+// DefaultConfig returns the paper's evaluation thresholds.
+func DefaultConfig() Config {
+	return Config{
+		MinConfidence:      0.90,
+		MinSupportFraction: 0.10,
+		EntropyThreshold:   stats.DefaultEntropyThreshold,
+		UseEntropyFilter:   true,
+	}
+}
+
+// Stats summarizes one inference run: how many candidates each filter
+// rejected. It explains where the typed search space went — the kind of
+// accounting Table 13 does for the entropy filter, generalized to all
+// three filters.
+type Stats struct {
+	// Candidates is the size of the typed instantiation space.
+	Candidates int
+	// NoEvidence counts candidates whose attributes never co-occurred (or
+	// whose validator was never applicable).
+	NoEvidence int
+	// SupportRejected, ConfidenceRejected, EntropyRejected count
+	// candidates killed by each filter, applied in that order.
+	SupportRejected    int
+	ConfidenceRejected int
+	EntropyRejected    int
+	// Kept is the number of surviving rules.
+	Kept int
+}
+
+// Engine infers rules from an assembled training dataset.
+type Engine struct {
+	Config    Config
+	Templates []*templates.Template
+
+	// LastStats describes the most recent Infer/InferSerial run.
+	LastStats Stats
+}
+
+// NewEngine returns an engine with the predefined templates and default
+// thresholds.
+func NewEngine() *Engine {
+	return &Engine{Config: DefaultConfig(), Templates: templates.Predefined()}
+}
+
+// AddTemplate registers an additional (custom) template.
+func (e *Engine) AddTemplate(t *templates.Template) {
+	e.Templates = append(e.Templates, t)
+}
+
+// candidate is one (template, attrA, attrB) instantiation to evaluate.
+type candidate struct {
+	tpl   *templates.Template
+	attrA string
+	attrB string
+}
+
+// Infer learns concrete rules from the dataset. images maps system ID to
+// its image so validators can consult the environment; rows whose image is
+// missing still participate in value-only validators.
+func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
+	cands := e.candidates(d)
+	ctxs := contexts(d, images)
+
+	workers := e.Config.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cands) && len(cands) > 0 {
+		workers = len(cands)
+	}
+
+	results := make([]*Rule, len(cands))
+	reasons := make([]rejectReason, len(cands))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], reasons[i] = e.evaluate(d, ctxs, cands[i])
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var rules []*Rule
+	for _, r := range results {
+		if r != nil {
+			rules = append(rules, r)
+		}
+	}
+	e.LastStats = tally(len(cands), reasons)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
+	return rules
+}
+
+// rejectReason records why a candidate did not become a rule.
+type rejectReason int
+
+const (
+	kept rejectReason = iota
+	noEvidence
+	supportRejected
+	confidenceRejected
+	entropyRejected
+)
+
+func tally(candidates int, reasons []rejectReason) Stats {
+	s := Stats{Candidates: candidates}
+	for _, r := range reasons {
+		switch r {
+		case kept:
+			s.Kept++
+		case noEvidence:
+			s.NoEvidence++
+		case supportRejected:
+			s.SupportRejected++
+		case confidenceRejected:
+			s.ConfidenceRejected++
+		case entropyRejected:
+			s.EntropyRejected++
+		}
+	}
+	return s
+}
+
+// InferSerial is the single-threaded reference implementation, used by the
+// parallelism ablation benchmark.
+func (e *Engine) InferSerial(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
+	ctxs := contexts(d, images)
+	cands := e.candidates(d)
+	reasons := make([]rejectReason, len(cands))
+	var rules []*Rule
+	for i, c := range cands {
+		var r *Rule
+		r, reasons[i] = e.evaluate(d, ctxs, c)
+		if r != nil {
+			rules = append(rules, r)
+		}
+	}
+	e.LastStats = tally(len(cands), reasons)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
+	return rules
+}
+
+// candidates enumerates every eligible (template, attrA, attrB) pair.
+// Type-based attribute selection happens here: this is what keeps the
+// candidate space tractable compared with frequent-item-set mining.
+func (e *Engine) candidates(d *dataset.Dataset) []candidate {
+	var out []candidate
+	attrs := d.Attributes()
+	for _, tpl := range e.Templates {
+		var as, bs []dataset.Attribute
+		for _, a := range attrs {
+			if tpl.EligibleA(a) {
+				as = append(as, a)
+			}
+			if tpl.EligibleB(a) {
+				bs = append(bs, a)
+			}
+		}
+		for _, a := range as {
+			for _, b := range bs {
+				if a.Name == b.Name {
+					continue
+				}
+				if tpl.SameType && a.Type != b.Type {
+					continue
+				}
+				if tpl.Symmetric && a.Name > b.Name {
+					continue
+				}
+				// An augmented attribute correlating with its own base
+				// entry is tautological (datadir.owner vs datadir);
+				// skip base/augmented self-pairs.
+				if isOwnAugment(a, b) || isOwnAugment(b, a) {
+					continue
+				}
+				out = append(out, candidate{tpl: tpl, attrA: a.Name, attrB: b.Name})
+			}
+		}
+	}
+	return out
+}
+
+// CandidateCount exposes the size of the typed search space (used by the
+// typed-selection ablation).
+func (e *Engine) CandidateCount(d *dataset.Dataset) int { return len(e.candidates(d)) }
+
+// isOwnAugment reports whether aug is an augmented attribute derived from
+// base (aug.Name == base.Name + "." + suffix).
+func isOwnAugment(aug, base dataset.Attribute) bool {
+	return aug.Augmented && len(aug.Name) > len(base.Name)+1 &&
+		aug.Name[:len(base.Name)] == base.Name && aug.Name[len(base.Name)] == '.'
+}
+
+func contexts(d *dataset.Dataset, images map[string]*sysimage.Image) []*templates.Ctx {
+	ctxs := make([]*templates.Ctx, len(d.Rows))
+	for i, row := range d.Rows {
+		ctxs[i] = &templates.Ctx{Row: row, Image: images[row.SystemID]}
+	}
+	return ctxs
+}
+
+// evaluate validates one candidate across all systems and applies the
+// filters; a nil rule is accompanied by the reason the candidate died.
+func (e *Engine) evaluate(d *dataset.Dataset, ctxs []*templates.Ctx, c candidate) (*Rule, rejectReason) {
+	total := len(ctxs)
+	support, applicable, valid := 0, 0, 0
+	for _, ctx := range ctxs {
+		va := ctx.Row.Instances(c.attrA)
+		vb := ctx.Row.Instances(c.attrB)
+		if len(va) == 0 || len(vb) == 0 {
+			continue
+		}
+		support++
+		holds, app := c.tpl.Validate(va, vb, ctx)
+		if !app {
+			continue
+		}
+		applicable++
+		if holds {
+			valid++
+		}
+	}
+	if total == 0 || support == 0 || applicable == 0 {
+		return nil, noEvidence
+	}
+	if stats.SupportFraction(support, total) < e.Config.MinSupportFraction {
+		return nil, supportRejected
+	}
+	conf := stats.Confidence(valid, applicable)
+	if conf < e.Config.MinConfidence {
+		return nil, confidenceRejected
+	}
+	if e.Config.UseEntropyFilter {
+		if d.Entropy(c.attrA) <= e.Config.EntropyThreshold || d.Entropy(c.attrB) <= e.Config.EntropyThreshold {
+			return nil, entropyRejected
+		}
+	}
+	return &Rule{
+		Template:   c.tpl.ID,
+		Spec:       c.tpl.Spec,
+		AttrA:      c.attrA,
+		AttrB:      c.attrB,
+		Support:    support,
+		Valid:      valid,
+		Confidence: conf,
+		EntropyA:   d.Entropy(c.attrA),
+		EntropyB:   d.Entropy(c.attrB),
+	}, kept
+}
+
+// RuleSet is a serializable collection of learned rules together with the
+// attribute type map needed to check targets.
+type RuleSet struct {
+	Rules []*Rule           `json:"rules"`
+	Types map[string]string `json:"types"` // attribute -> semantic type
+}
+
+// NewRuleSet bundles rules with the training dataset's attribute types.
+func NewRuleSet(rules []*Rule, d *dataset.Dataset) *RuleSet {
+	types := make(map[string]string)
+	for _, a := range d.Attributes() {
+		types[a.Name] = string(a.Type)
+	}
+	return &RuleSet{Rules: rules, Types: types}
+}
+
+// Marshal serializes the rule set to JSON.
+func (rs *RuleSet) Marshal() ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ")
+}
+
+// UnmarshalRuleSet parses a serialized rule set.
+func UnmarshalRuleSet(data []byte) (*RuleSet, error) {
+	var rs RuleSet
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("rules: decode rule set: %w", err)
+	}
+	return &rs, nil
+}

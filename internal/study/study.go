@@ -1,0 +1,111 @@
+// Package study holds the manual-study catalog behind Table 1 of the
+// paper: for each of the four studied applications, the examined
+// configuration entries annotated with whether the entry's value refers to
+// an execution-environment object ("Env-Related") and whether its correct
+// setting is correlated with other entries or environment objects
+// ("Correlated").
+//
+// Apache covers the entries of the two main modules (core and mpm), PHP
+// covers the core entries, MySQL's entries are a sample of the server
+// options. The aggregate counts reproduce Table 1:
+//
+//	Apache  94 total, 29 (31%) env-related, 42 (46%) correlated
+//	MySQL  113 total, 19 (17%) env-related, 31 (27%) correlated
+//	PHP     53 total, 16 (30%) env-related, 20 (38%) correlated
+//	sshd    57 total, 12 (21%) env-related, 29 (51%) correlated
+package study
+
+import "sort"
+
+// Entry is one studied configuration parameter.
+type Entry struct {
+	App        string
+	Name       string
+	EnvRelated bool
+	Correlated bool
+}
+
+// Row is one Table 1 row.
+type Row struct {
+	App        string
+	Total      int
+	EnvRelated int
+	Correlated int
+}
+
+// Catalog returns every studied entry.
+func Catalog() []Entry {
+	var out []Entry
+	out = append(out, apacheEntries()...)
+	out = append(out, mysqlEntries()...)
+	out = append(out, phpEntries()...)
+	out = append(out, sshdEntries()...)
+	return out
+}
+
+// Table1 aggregates the catalog into the Table 1 rows, in the paper's app
+// order.
+func Table1() []Row {
+	byApp := map[string]*Row{}
+	for _, e := range Catalog() {
+		r, ok := byApp[e.App]
+		if !ok {
+			r = &Row{App: e.App}
+			byApp[e.App] = r
+		}
+		r.Total++
+		if e.EnvRelated {
+			r.EnvRelated++
+		}
+		if e.Correlated {
+			r.Correlated++
+		}
+	}
+	order := []string{"Apache", "MySQL", "PHP", "sshd"}
+	rows := make([]Row, 0, len(order))
+	for _, app := range order {
+		if r, ok := byApp[app]; ok {
+			rows = append(rows, *r)
+		}
+	}
+	return rows
+}
+
+// Names returns the sorted entry names for one app.
+func Names(app string) []string {
+	var out []string
+	for _, e := range Catalog() {
+		if e.App == app {
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mk expands a compact flag notation: each spec is "name", "name|E",
+// "name|C" or "name|EC".
+func mk(app string, specs []string) []Entry {
+	out := make([]Entry, 0, len(specs))
+	for _, s := range specs {
+		e := Entry{App: app}
+		name := s
+		for i := 0; i < len(s); i++ {
+			if s[i] == '|' {
+				name = s[:i]
+				for _, f := range s[i+1:] {
+					switch f {
+					case 'E':
+						e.EnvRelated = true
+					case 'C':
+						e.Correlated = true
+					}
+				}
+				break
+			}
+		}
+		e.Name = name
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package study
+
+import "testing"
+
+// TestTable1Counts verifies the catalog aggregates to exactly the numbers
+// the paper's Table 1 reports.
+func TestTable1Counts(t *testing.T) {
+	want := map[string]Row{
+		"Apache": {App: "Apache", Total: 94, EnvRelated: 29, Correlated: 42},
+		"MySQL":  {App: "MySQL", Total: 113, EnvRelated: 19, Correlated: 31},
+		"PHP":    {App: "PHP", Total: 53, EnvRelated: 16, Correlated: 20},
+		"sshd":   {App: "sshd", Total: 57, EnvRelated: 12, Correlated: 29},
+	}
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		w := want[r.App]
+		if r != w {
+			t.Errorf("%s: got %+v, want %+v", r.App, r, w)
+		}
+	}
+}
+
+func TestRowOrder(t *testing.T) {
+	rows := Table1()
+	order := []string{"Apache", "MySQL", "PHP", "sshd"}
+	for i, r := range rows {
+		if r.App != order[i] {
+			t.Fatalf("row %d = %s, want %s", i, r.App, order[i])
+		}
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Catalog() {
+		key := e.App + "/" + e.Name
+		if seen[key] {
+			t.Errorf("duplicate entry %s", key)
+		}
+		seen[key] = true
+		if e.Name == "" {
+			t.Error("empty entry name")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names("sshd")
+	if len(names) != 57 {
+		t.Fatalf("sshd names = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+	if len(Names("nginx")) != 0 {
+		t.Fatal("unknown app should have no names")
+	}
+}
+
+func TestMkFlagParsing(t *testing.T) {
+	es := mk("X", []string{"plain", "env|E", "corr|C", "both|EC"})
+	if es[0].EnvRelated || es[0].Correlated {
+		t.Fatal("plain entry has flags")
+	}
+	if !es[1].EnvRelated || es[1].Correlated {
+		t.Fatal("|E parsed wrong")
+	}
+	if es[2].EnvRelated || !es[2].Correlated {
+		t.Fatal("|C parsed wrong")
+	}
+	if !es[3].EnvRelated || !es[3].Correlated {
+		t.Fatal("|EC parsed wrong")
+	}
+	if es[1].Name != "env" {
+		t.Fatalf("name = %q", es[1].Name)
+	}
+}

@@ -1,0 +1,85 @@
+package sysimage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MarshalJSONIndent serializes the image to indented JSON. Map iteration
+// order does not matter because encoding/json sorts map keys.
+func (im *Image) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(im, "", "  ")
+}
+
+// LoadJSON deserializes an image produced by MarshalJSONIndent.
+func LoadJSON(data []byte) (*Image, error) {
+	var im Image
+	if err := json.Unmarshal(data, &im); err != nil {
+		return nil, fmt.Errorf("sysimage: decode image: %w", err)
+	}
+	if im.Files == nil {
+		im.Files = make(map[string]*FileMeta)
+	}
+	if im.Users == nil {
+		im.Users = make(map[string]*User)
+	}
+	if im.Groups == nil {
+		im.Groups = make(map[string]*Group)
+	}
+	if im.Env == nil {
+		im.Env = make(map[string]string)
+	}
+	return &im, nil
+}
+
+// SaveDir writes one JSON file per image into dir, creating it if needed.
+// File names are "<id>.json".
+func SaveDir(dir string, images []*Image) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sysimage: create %s: %w", dir, err)
+	}
+	for _, im := range images {
+		data, err := im.MarshalJSONIndent()
+		if err != nil {
+			return fmt.Errorf("sysimage: encode %s: %w", im.ID, err)
+		}
+		name := filepath.Join(dir, im.ID+".json")
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return fmt.Errorf("sysimage: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every "*.json" image in dir, sorted by file name so corpora
+// load deterministically.
+func LoadDir(dir string) ([]*Image, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sysimage: read %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	images := make([]*Image, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("sysimage: read %s: %w", n, err)
+		}
+		im, err := LoadJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("sysimage: %s: %w", n, err)
+		}
+		images = append(images, im)
+	}
+	return images, nil
+}

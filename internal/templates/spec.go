@@ -1,0 +1,102 @@
+package templates
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/conftypes"
+)
+
+// The template grammar (Section 5.3.2): a template specification is two
+// typed slots joined by a relation operator, e.g.
+//
+//	[A:Size] < [B:Size]
+//	[A:FilePath] => [B:UserName]
+//
+// Slots name a placeholder and its data type; the operator selects a
+// validation method, either one of the built-in operators or one
+// registered by the user's customization file.
+
+var specRe = regexp.MustCompile(`^\[([A-Za-z]\w*):([A-Za-z]\w*)\]\s*(\S+)\s*\[([A-Za-z]\w*):([A-Za-z]\w*)\]$`)
+
+// opRegistry maps operator token + operand types to a validator. Built-in
+// operators are seeded from the predefined templates; custom operators are
+// added with RegisterOp.
+type opKey struct {
+	op string
+	ta conftypes.Type
+	tb conftypes.Type
+}
+
+var opRegistry = map[opKey]Validator{}
+
+// RegisterOp installs (or overrides) the validator used when a template
+// specification uses operator op between types ta and tb. User
+// customizations may override the predefined meaning, as the paper allows.
+func RegisterOp(op string, ta, tb conftypes.Type, v Validator) {
+	opRegistry[opKey{op, ta, tb}] = v
+}
+
+// LookupOp returns the validator registered for an operator and operand
+// types, trying the exact pair first and then the wildcard pair
+// (TypeString, TypeString).
+func LookupOp(op string, ta, tb conftypes.Type) (Validator, bool) {
+	if v, ok := opRegistry[opKey{op, ta, tb}]; ok {
+		return v, true
+	}
+	if v, ok := opRegistry[opKey{op, conftypes.TypeString, conftypes.TypeString}]; ok {
+		return v, true
+	}
+	return nil, false
+}
+
+func init() {
+	// Seed operator meanings from the predefined templates so that the
+	// spec grammar can express every built-in relation.
+	seed := map[string]string{
+		"==": "eq", "=": "match-one", "->": "bool-implies",
+		"<subnet": "subnet", "+": "concat", "substr": "substr",
+		"in": "user-group", "!=": "not-access", "=>": "owner",
+		"<": "num-lt", "<size": "size-lt",
+	}
+	for op, id := range seed {
+		t := ByID(id)
+		for _, ta := range t.TypesA {
+			for _, tb := range t.TypesB {
+				RegisterOp(op, ta, tb, t.Validate)
+			}
+		}
+	}
+	// Size comparison is the natural meaning of '<' on sizes.
+	sz := ByID("size-lt")
+	RegisterOp("<", conftypes.TypeSize, conftypes.TypeSize, sz.Validate)
+}
+
+// ParseSpec parses a template specification into a Template. The returned
+// template's ID is derived from the spec unless id is non-empty.
+func ParseSpec(id, spec string) (*Template, error) {
+	m := specRe.FindStringSubmatch(strings.TrimSpace(spec))
+	if m == nil {
+		return nil, fmt.Errorf("templates: malformed spec %q (want \"[A:Type] op [B:Type]\")", spec)
+	}
+	ta, tb := conftypes.Type(m[2]), conftypes.Type(m[5])
+	op := m[3]
+	v, ok := LookupOp(op, ta, tb)
+	if !ok {
+		return nil, fmt.Errorf("templates: no operator %q for types %s, %s (register it first)", op, ta, tb)
+	}
+	if id == "" {
+		id = fmt.Sprintf("custom:%s:%s:%s", op, ta, tb)
+	}
+	return &Template{
+		ID:             id,
+		Spec:           spec,
+		Description:    fmt.Sprintf("custom template %s between %s and %s", op, ta, tb),
+		TypesA:         []conftypes.Type{ta},
+		TypesB:         []conftypes.Type{tb},
+		SameType:       ta == tb,
+		AllowAugmented: true,
+		Validate:       v,
+	}, nil
+}
