@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 tier2 bench fuzz fmt
+
+# Tier 1: the gate every change must keep green — build + full test suite.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Tier 2: static analysis + the full suite under the race detector.
+# The parallel assembly, rule inference, batch scan, and eval paths all
+# run real goroutine pools, so tier 2 is where data races would surface.
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over each config-parser dialect (seed corpus always
+# runs as part of tier 1; this explores beyond it).
+fuzz:
+	$(GO) test ./internal/confparse -fuzz FuzzApacheParse -fuzztime 10s
+	$(GO) test ./internal/confparse -fuzz FuzzINIParse -fuzztime 10s
+	$(GO) test ./internal/confparse -fuzz FuzzSSHDParse -fuzztime 10s
+
+fmt:
+	gofmt -l .

@@ -465,6 +465,84 @@ func BenchmarkAdvise(b *testing.B) {
 	b.ReportMetric(float64(n), "suggestions")
 }
 
+// ---- concurrency benchmarks ----
+
+// BenchmarkAssembleTrainingSerial / Parallel measure the assembly worker
+// pool against the single-threaded reference on the same corpus, so bench
+// runs track the parallel-assembly speedup.
+func BenchmarkAssembleTrainingSerial(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asm := assemble.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.AssembleTrainingSerial(images); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssembleTrainingParallel(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asm := assemble.New() // Workers 0 = NumCPU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.AssembleTraining(images); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScanFleet learns once and returns a target fleet for the batch
+// scan benchmarks.
+func benchScanFleet(b *testing.B) (*Framework, *Knowledge, []*Image) {
+	b.Helper()
+	training, err := corpus.Training("mysql", 30, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(training)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets, err := corpus.Training("mysql", 32, benchSeed+9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fw, k, targets
+}
+
+// BenchmarkBatchScanWorkers1 / NumCPU measure the batch scan engine at
+// pool sizes 1 and NumCPU over the same fleet.
+func BenchmarkBatchScanWorkers1(b *testing.B) {
+	fw, k, targets := benchScanFleet(b)
+	eng := fw.ScanEngine(k)
+	eng.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchScanWorkersNumCPU(b *testing.B) {
+	fw, k, targets := benchScanFleet(b)
+	eng := fw.ScanEngine(k) // Workers 0 = NumCPU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHeadline prints the paper's headline comparison as a benchmark:
 // EnCore vs the baselines on the injection study.
 func BenchmarkHeadline(b *testing.B) {

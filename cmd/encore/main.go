@@ -15,14 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	encore "repro"
 	"repro/internal/collector"
+	"repro/internal/scan"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -59,9 +59,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE]
-  encore check    (-training DIR | -profile FILE) -target FILE [-top N] [-json] [-advise]
-  encore scan     (-training DIR | -profile FILE) -targets DIR [-min-warnings N]
+  encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE] [-stats]
+  encore check    (-training DIR | -profile FILE) -target FILE [-top N] [-json] [-advise] [-stats]
+  encore scan     (-training DIR | -profile FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-stats]
   encore rules    (-training DIR | -profile FILE) [-custom FILE]
   encore collect  -root DIR -id NAME -app NAME=RELPATH [-app ...] -out FILE
   encore assemble -training DIR [-csv FILE]`)
@@ -75,6 +75,17 @@ func newFramework(customFile string) (*encore.Framework, error) {
 		}
 	}
 	return fw, nil
+}
+
+// withStats wires a telemetry recorder into the framework when -stats is
+// set and returns the function that prints the collected stats to stderr.
+func withStats(fw *encore.Framework, enabled bool) func() {
+	if !enabled {
+		return func() {}
+	}
+	rec := telemetry.New()
+	fw.SetTelemetry(rec)
+	return func() { fmt.Fprint(os.Stderr, rec.Render()) }
 }
 
 func learn(fw *encore.Framework, trainingDir string) (*encore.Knowledge, error) {
@@ -91,6 +102,7 @@ func runLearn(args []string) error {
 	rulesOut := fs.String("rules", "", "write learned rules to this file (default stdout)")
 	profileOut := fs.String("profile", "", "write a full knowledge profile (rules + histograms) to this file")
 	customFile := fs.String("custom", "", "customization file")
+	showStats := fs.Bool("stats", false, "print pipeline telemetry to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +113,8 @@ func runLearn(args []string) error {
 	if err != nil {
 		return err
 	}
+	flush := withStats(fw, *showStats)
+	defer flush()
 	k, err := learn(fw, *training)
 	if err != nil {
 		return err
@@ -142,6 +156,7 @@ func runCheck(args []string) error {
 	top := fs.Int("top", 0, "print only the top N warnings (0 = all)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	withAdvice := fs.Bool("advise", false, "append remediation advice (requires -training)")
+	showStats := fs.Bool("stats", false, "print pipeline telemetry to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +167,8 @@ func runCheck(args []string) error {
 	if err != nil {
 		return err
 	}
+	flush := withStats(fw, *showStats)
+	defer flush()
 	data, err := os.ReadFile(*target)
 	if err != nil {
 		return err
@@ -212,9 +229,10 @@ func runCheck(args []string) error {
 	return nil
 }
 
-// runScan checks every image in a directory and prints a fleet summary:
-// per-image warning counts by kind, then the attributes flagged most often
-// across the fleet.
+// runScan checks every image in a directory through the batch scan engine
+// and prints a fleet summary: per-image warning counts by kind, isolated
+// per-image failures, then the attributes flagged most often across the
+// fleet.
 func runScan(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	training := fs.String("training", "", "directory of training image JSON files")
@@ -222,6 +240,9 @@ func runScan(args []string) error {
 	targets := fs.String("targets", "", "directory of target image JSON files")
 	minWarnings := fs.Int("min-warnings", 1, "only list images with at least this many warnings")
 	customFile := fs.String("custom", "", "customization file")
+	strict := fs.Bool("strict", false, "abort the batch on the first failing image instead of isolating it")
+	workers := fs.Int("workers", 0, "scan worker pool size (0 = NumCPU)")
+	showStats := fs.Bool("stats", false, "print pipeline telemetry to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -232,7 +253,9 @@ func runScan(args []string) error {
 	if err != nil {
 		return err
 	}
-	check := func(img *sysimage.Image) (*encore.Report, error) { return nil, nil }
+	flush := withStats(fw, *showStats)
+	defer flush()
+	var eng *scan.Engine
 	if *profileIn != "" {
 		data, err := os.ReadFile(*profileIn)
 		if err != nil {
@@ -242,87 +265,58 @@ func runScan(args []string) error {
 		if err != nil {
 			return err
 		}
-		check = func(img *sysimage.Image) (*encore.Report, error) { return fw.CheckWithProfile(p, img) }
+		eng = fw.ScanEngineWithProfile(p)
 	} else {
 		k, err := learn(fw, *training)
 		if err != nil {
 			return err
 		}
-		check = func(img *sysimage.Image) (*encore.Report, error) { return fw.Check(k, img) }
+		eng = fw.ScanEngine(k)
 	}
+	eng.Strict = *strict
+	eng.Workers = *workers
 
-	images, err := sysimage.LoadDir(*targets)
+	result, err := eng.ScanDir(*targets)
 	if err != nil {
 		return err
 	}
-	// Target checks are independent; fan them out across the machine and
-	// report in the original (deterministic) order.
-	reports := make([]*encore.Report, len(images))
-	errs := make([]error, len(images))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < runtime.NumCPU(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				reports[i], errs[i] = check(images[i])
+	for _, it := range result.Items {
+		if it.Err != nil {
+			name := it.Err.ImageID
+			if name == "" {
+				name = it.Err.Path
 			}
-		}()
-	}
-	for i := range images {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-
-	flaggedImages := 0
-	totalWarnings := 0
-	attrCounts := map[string]int{}
-	for i, img := range images {
-		report, err := reports[i], errs[i]
-		if err != nil {
-			return fmt.Errorf("scan: %s: %w", img.ID, err)
+			fmt.Printf("%-28s FAILED: %v\n", name, it.Err.Err)
+			continue
 		}
-		totalWarnings += len(report.Warnings)
-		for _, w := range report.Warnings {
-			attrCounts[w.Attr]++
-		}
+		report := it.Report
 		if len(report.Warnings) < *minWarnings {
 			continue
 		}
-		flaggedImages++
 		kinds := report.CountByKind()
 		fmt.Printf("%-28s %3d warnings (corr %d, type %d, name %d, value %d)\n",
-			img.ID, len(report.Warnings),
+			it.ImageID, len(report.Warnings),
 			kinds[encore.KindCorrelation], kinds[encore.KindType],
 			kinds[encore.KindName], kinds[encore.KindSuspicious])
 		if top := report.Top(); top != nil {
 			fmt.Printf("%-28s     top: %s\n", "", top.Message)
 		}
 	}
-	fmt.Printf("\nscanned %d images: %d flagged, %d warnings total\n", len(images), flaggedImages, totalWarnings)
-	type ac struct {
-		attr string
-		n    int
+	sum := result.Summarize(*minWarnings)
+	if sum.Errors > 0 {
+		fmt.Printf("\nscanned %d images: %d flagged, %d warnings total, %d failed\n",
+			sum.Scanned, sum.Flagged, sum.Warnings, sum.Errors)
+	} else {
+		fmt.Printf("\nscanned %d images: %d flagged, %d warnings total\n",
+			sum.Scanned, sum.Flagged, sum.Warnings)
 	}
-	var hot []ac
-	for a, n := range attrCounts {
-		hot = append(hot, ac{a, n})
-	}
-	sort.Slice(hot, func(i, j int) bool {
-		if hot[i].n != hot[j].n {
-			return hot[i].n > hot[j].n
-		}
-		return hot[i].attr < hot[j].attr
-	})
-	if len(hot) > 0 {
+	if len(sum.HotAttrs) > 0 {
 		fmt.Println("most-flagged attributes:")
-		for i, h := range hot {
+		for i, h := range sum.HotAttrs {
 			if i == 5 {
 				break
 			}
-			fmt.Printf("  %3dx %s\n", h.n, h.attr)
+			fmt.Printf("  %3dx %s\n", h.Count, h.Attr)
 		}
 	}
 	return nil

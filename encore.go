@@ -37,7 +37,9 @@ import (
 	"repro/internal/detect"
 	"repro/internal/profile"
 	"repro/internal/rules"
+	"repro/internal/scan"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 	"repro/internal/templates"
 )
 
@@ -53,6 +55,12 @@ type (
 	Rule = rules.Rule
 	// Config holds the rule-inference thresholds.
 	Config = rules.Config
+	// ScanResult is the outcome of a batch target scan.
+	ScanResult = scan.Result
+	// ScanError is one isolated per-image scan failure.
+	ScanError = scan.ScanError
+	// Telemetry records pipeline counters and stage timings.
+	Telemetry = telemetry.Recorder
 )
 
 // Warning kinds, re-exported from the detector.
@@ -188,6 +196,33 @@ func (f *Framework) Detector(k *Knowledge) *detect.Detector {
 
 // Templates returns the framework's active rule templates.
 func (f *Framework) Templates() []*templates.Template { return f.Engine.Templates }
+
+// SetTelemetry threads one recorder through the assembler and the rule
+// engine, so a Learn/Check run reports its stage timings and counters.
+// Pass nil to disable instrumentation again.
+func (f *Framework) SetTelemetry(rec *telemetry.Recorder) {
+	f.Assembler.Telemetry = rec
+	f.Engine.Telemetry = rec
+}
+
+// ScanEngine returns a batch scan engine that checks targets against
+// learned knowledge with per-image fault isolation (see internal/scan).
+// The engine inherits the assembler's telemetry recorder.
+func (f *Framework) ScanEngine(k *Knowledge) *scan.Engine {
+	return &scan.Engine{
+		Check:     func(img *sysimage.Image) (*detect.Report, error) { return f.Check(k, img) },
+		Telemetry: f.Assembler.Telemetry,
+	}
+}
+
+// ScanEngineWithProfile returns a batch scan engine over a deserialized
+// knowledge profile (no training corpus in memory).
+func (f *Framework) ScanEngineWithProfile(p *profile.Profile) *scan.Engine {
+	return &scan.Engine{
+		Check:     func(img *sysimage.Image) (*detect.Report, error) { return f.CheckWithProfile(p, img) },
+		Telemetry: f.Assembler.Telemetry,
+	}
+}
 
 // TypeOf reports the semantic type learned for an attribute.
 func (k *Knowledge) TypeOf(attr string) (conftypes.Type, bool) {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/conftypes"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 )
 
 // Augmenter derives one environment attribute from a configuration value of
@@ -48,6 +49,12 @@ type Assembler struct {
 	// look like globs or regular expressions (a documented inference-error
 	// source in the paper).
 	SkipPatternValues bool
+	// Workers bounds the parallel-assembly pool; 0 means NumCPU, 1 forces
+	// the sequential reference path.
+	Workers int
+	// Telemetry, when set, receives stage timings and counters for every
+	// assembly run. Nil disables instrumentation.
+	Telemetry *telemetry.Recorder
 }
 
 // New returns an assembler with the default inferencer, the default

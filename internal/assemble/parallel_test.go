@@ -1,0 +1,123 @@
+package assemble
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+	"repro/internal/telemetry"
+)
+
+// equivCorpus builds a mixed seed corpus: the three single-app populations
+// plus LAMP images whose rows span several config files per image.
+func equivCorpus(t *testing.T) []*sysimage.Image {
+	t.Helper()
+	var images []*sysimage.Image
+	for _, app := range []string{"apache", "mysql", "php", "sshd"} {
+		imgs, err := corpus.Training(app, 12, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images = append(images, imgs...)
+	}
+	lamp, err := corpus.LAMPTraining(8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(images, lamp...)
+}
+
+// TestParallelEquivalence locks the parallel AssembleTraining to the
+// sequential reference path: attribute order, inferred types, augmented
+// columns, and every row must be deep-equal on the seed corpus. Run under
+// -race this also exercises the worker pool for data races.
+func TestParallelEquivalence(t *testing.T) {
+	images := equivCorpus(t)
+
+	serial := New()
+	serial.Workers = 1
+	want, err := serial.AssembleTrainingSerial(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 2, 3, 7} {
+		par := New()
+		par.Workers = workers
+		got, err := par.AssembleTraining(images)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got.Attributes(), want.Attributes()) {
+			t.Fatalf("workers=%d: attribute declarations diverge", workers)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Fatalf("workers=%d: rows diverge", workers)
+		}
+		if got.CSV() != want.CSV() {
+			t.Fatalf("workers=%d: CSV rendering diverges", workers)
+		}
+	}
+}
+
+// TestWorkersOneUsesSerialPath pins the Workers=1 fast path to the serial
+// reference.
+func TestWorkersOneUsesSerialPath(t *testing.T) {
+	images := equivCorpus(t)[:5]
+	a := New()
+	a.Workers = 1
+	got, err := a.AssembleTraining(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().AssembleTrainingSerial(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatal("Workers=1 path diverges from serial reference")
+	}
+}
+
+// TestParallelParseErrorMatchesSerial verifies both paths surface the same
+// (first, in image order) parse error with the image context attached.
+func TestParallelParseErrorMatchesSerial(t *testing.T) {
+	images := equivCorpus(t)[:6]
+	images[2].ConfigFiles = append(images[2].ConfigFiles, sysimage.ConfigFile{
+		App: "apache", Path: "/etc/apache2/broken.conf", Content: "<VirtualHost *:80>\n",
+	})
+	serial := New()
+	serial.Workers = 1
+	_, serr := serial.AssembleTraining(images)
+	par := New()
+	par.Workers = 4
+	_, perr := par.AssembleTraining(images)
+	if serr == nil || perr == nil {
+		t.Fatalf("expected both paths to fail: serial=%v parallel=%v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Fatalf("error divergence:\nserial:   %v\nparallel: %v", serr, perr)
+	}
+}
+
+// TestAssembleTelemetry verifies the counters the assembler reports.
+func TestAssembleTelemetry(t *testing.T) {
+	images := equivCorpus(t)[:10]
+	rec := telemetry.New()
+	a := New()
+	a.Telemetry = rec
+	ds, err := a.AssembleTraining(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter(telemetry.CounterImagesParsed); got != int64(len(images)) {
+		t.Fatalf("images parsed counter = %d, want %d", got, len(images))
+	}
+	if got := rec.Counter(telemetry.CounterAttrsDeclared); got != int64(len(ds.Attributes())) {
+		t.Fatalf("attrs declared counter = %d, want %d", got, len(ds.Attributes()))
+	}
+	if rec.Counter(telemetry.CounterFilesParsed) == 0 {
+		t.Fatal("files parsed counter not incremented")
+	}
+}

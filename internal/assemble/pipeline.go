@@ -2,13 +2,16 @@ package assemble
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/confparse"
 	"repro/internal/conftypes"
 	"repro/internal/dataset"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 )
 
 // parsedImage pairs an image with its parsed configuration files.
@@ -29,88 +32,266 @@ func attrName(app string, e *confparse.Entry, argIdx, argCount int) string {
 	return fmt.Sprintf("%s/arg%d", base, argIdx+1)
 }
 
+// nameValue is one (attribute name, value) contribution of an entry.
+type nameValue struct{ Name, Value string }
+
 // entryValues returns the (attribute name, value) pairs an entry
 // contributes.
-func entryValues(app string, e *confparse.Entry) [](struct{ Name, Value string }) {
-	var out [](struct{ Name, Value string })
+func entryValues(app string, e *confparse.Entry) []nameValue {
 	if len(e.Values) == 0 {
-		out = append(out, struct{ Name, Value string }{attrName(app, e, 0, 1), "on"})
-		return out
+		return []nameValue{{attrName(app, e, 0, 1), "on"}}
 	}
+	out := make([]nameValue, 0, len(e.Values))
 	for i, v := range e.Values {
-		out = append(out, struct{ Name, Value string }{attrName(app, e, i, len(e.Values)), v})
+		out = append(out, nameValue{attrName(app, e, i, len(e.Values)), v})
 	}
 	return out
+}
+
+// parseOne parses every configuration file of a single image. Errors carry
+// the image ID (confparse adds the app and file path).
+func parseOne(img *sysimage.Image) (parsedImage, error) {
+	pi := parsedImage{img: img}
+	for _, cf := range img.ConfigFiles {
+		f, err := confparse.Parse(cf.App, cf.Path, cf.Content)
+		if err != nil {
+			return parsedImage{}, fmt.Errorf("assemble: image %s: %w", img.ID, err)
+		}
+		pi.files = append(pi.files, f)
+	}
+	return pi, nil
 }
 
 func parseImages(images []*sysimage.Image) ([]parsedImage, error) {
 	parsed := make([]parsedImage, 0, len(images))
 	for _, img := range images {
-		pi := parsedImage{img: img}
-		for _, cf := range img.ConfigFiles {
-			f, err := confparse.Parse(cf.App, cf.Path, cf.Content)
-			if err != nil {
-				return nil, fmt.Errorf("assemble: image %s: %w", img.ID, err)
-			}
-			pi.files = append(pi.files, f)
+		pi, err := parseOne(img)
+		if err != nil {
+			return nil, err
 		}
 		parsed = append(parsed, pi)
 	}
 	return parsed, nil
 }
 
+// workerCount resolves the assembler's pool size for n independent work
+// items, mirroring internal/rules: 0 means NumCPU, and the pool never
+// exceeds the number of items.
+func (a *Assembler) workerCount(n int) int {
+	w := a.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n && n > 0 {
+		w = n
+	}
+	return w
+}
+
+// forEachIndexed runs fn(i) for i in [0, n) on a bounded worker pool. fn
+// must write only to its own index of any shared slice.
+func forEachIndexed(n, workers int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// parseImagesParallel parses every image on the worker pool. Results stay
+// in image order, and the error returned is the one the sequential path
+// would have hit first (lowest image index), so both paths are
+// observationally identical.
+func (a *Assembler) parseImagesParallel(images []*sysimage.Image, workers int) ([]parsedImage, error) {
+	parsed := make([]parsedImage, len(images))
+	errs := make([]error, len(images))
+	forEachIndexed(len(images), workers, func(i int) {
+		parsed[i], errs[i] = parseOne(images[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parsed, nil
+}
+
+// countFiles tallies the configuration files across images for telemetry.
+func countFiles(images []*sysimage.Image) int64 {
+	var n int64
+	for _, img := range images {
+		n += int64(len(img.ConfigFiles))
+	}
+	return n
+}
+
 // AssembleTraining builds the training dataset from a set of configured
 // images: it parses every configuration file, infers one semantic type per
 // attribute from all samples across the training set, and augments each row
 // with environment attributes.
+//
+// Parsing, sample extraction, type inference, and row construction all run
+// on a bounded worker pool (Workers; 0 = NumCPU), with a deterministic
+// merge: the produced dataset — attribute order, inferred types, augmented
+// columns, row contents — is identical to AssembleTrainingSerial's.
 func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset, error) {
-	parsed, err := parseImages(images)
+	workers := a.workerCount(len(images))
+	if workers <= 1 {
+		return a.AssembleTrainingSerial(images)
+	}
+
+	stopParse := a.Telemetry.StartStage(telemetry.StageAssembleParse)
+	parsed, err := a.parseImagesParallel(images, workers)
+	stopParse()
 	if err != nil {
 		return nil, err
 	}
+	a.Telemetry.Add(telemetry.CounterImagesParsed, int64(len(images)))
+	a.Telemetry.Add(telemetry.CounterFilesParsed, countFiles(images))
+
+	// Pass 1: extract each image's (attribute, value) stream concurrently,
+	// then merge in image order — first-seen attribute order and per-
+	// attribute sample order come out exactly as the sequential single
+	// loop produces them.
+	stopInfer := a.Telemetry.StartStage(telemetry.StageAssembleInfer)
+	extracted := make([][]nameValue, len(parsed))
+	forEachIndexed(len(parsed), workers, func(i int) {
+		extracted[i] = extractPairs(parsed[i])
+	})
+	samples := make(map[string][]conftypes.Sample)
+	var order []string
+	for i, pairs := range extracted {
+		img := parsed[i].img
+		for _, nv := range pairs {
+			if _, seen := samples[nv.Name]; !seen {
+				order = append(order, nv.Name)
+			}
+			samples[nv.Name] = append(samples[nv.Name], conftypes.Sample{Value: nv.Value, Image: img})
+		}
+	}
+
+	// Entry-level inference is independent per attribute.
+	inferred := make([]conftypes.Type, len(order))
+	forEachIndexed(len(order), workers, func(i int) {
+		inferred[i] = a.Inferencer.InferEntryNamed(order[i], samples[order[i]])
+	})
+	types := make(map[string]conftypes.Type, len(order))
+	for i, name := range order {
+		types[name] = inferred[i]
+	}
+	stopInfer()
+
+	// Pass 2: build each row's attribute operations concurrently (the
+	// augmenters' environment lookups dominate here), then replay them
+	// into the dataset in image order so dynamic column declaration is
+	// byte-identical to the sequential path.
+	stopRows := a.Telemetry.StartStage(telemetry.StageAssembleRows)
+	recorded := make([]recordedRow, len(parsed))
+	forEachIndexed(len(parsed), workers, func(i int) {
+		a.emitRow(&recorded[i], parsed[i], types)
+	})
+	d := dataset.New()
+	for _, name := range order {
+		d.DeclareAttr(name, types[name], false)
+	}
+	for i, pi := range parsed {
+		row := d.NewRow(pi.img.ID)
+		recorded[i].replay(d, row)
+	}
+	stopRows()
+	a.Telemetry.Add(telemetry.CounterAttrsDeclared, int64(len(d.Attributes())))
+	return d, nil
+}
+
+// AssembleTrainingSerial is the single-threaded reference implementation of
+// AssembleTraining, kept as the equivalence oracle for the parallel path
+// and for the parallelism ablation benchmark.
+func (a *Assembler) AssembleTrainingSerial(images []*sysimage.Image) (*dataset.Dataset, error) {
+	stopParse := a.Telemetry.StartStage(telemetry.StageAssembleParse)
+	parsed, err := parseImages(images)
+	stopParse()
+	if err != nil {
+		return nil, err
+	}
+	a.Telemetry.Add(telemetry.CounterImagesParsed, int64(len(images)))
+	a.Telemetry.Add(telemetry.CounterFilesParsed, countFiles(images))
 
 	// Pass 1: collect samples per attribute for entry-level type
 	// inference.
+	stopInfer := a.Telemetry.StartStage(telemetry.StageAssembleInfer)
 	samples := make(map[string][]conftypes.Sample)
 	var order []string
 	for _, pi := range parsed {
-		for _, f := range pi.files {
-			for _, e := range f.Entries {
-				for _, nv := range entryValues(f.App, e) {
-					if _, seen := samples[nv.Name]; !seen {
-						order = append(order, nv.Name)
-					}
-					samples[nv.Name] = append(samples[nv.Name], conftypes.Sample{Value: nv.Value, Image: pi.img})
-				}
+		for _, nv := range extractPairs(pi) {
+			if _, seen := samples[nv.Name]; !seen {
+				order = append(order, nv.Name)
 			}
+			samples[nv.Name] = append(samples[nv.Name], conftypes.Sample{Value: nv.Value, Image: pi.img})
 		}
 	}
 	types := make(map[string]conftypes.Type, len(samples))
 	for name, ss := range samples {
 		types[name] = a.Inferencer.InferEntryNamed(name, ss)
 	}
+	stopInfer()
 
 	// Pass 2: build the dataset with augmentation.
+	stopRows := a.Telemetry.StartStage(telemetry.StageAssembleRows)
 	d := dataset.New()
 	for _, name := range order {
 		d.DeclareAttr(name, types[name], false)
 	}
 	for _, pi := range parsed {
 		row := d.NewRow(pi.img.ID)
-		a.fillRow(d, row, pi, types)
+		a.emitRow(directSink{d: d, row: row}, pi, types)
 	}
+	stopRows()
+	a.Telemetry.Add(telemetry.CounterAttrsDeclared, int64(len(d.Attributes())))
 	return d, nil
+}
+
+// extractPairs flattens one parsed image into its ordered (attribute,
+// value) stream.
+func extractPairs(pi parsedImage) []nameValue {
+	var out []nameValue
+	for _, f := range pi.files {
+		for _, e := range f.Entries {
+			out = append(out, entryValues(f.App, e)...)
+		}
+	}
+	return out
 }
 
 // AssembleTarget assembles a single target image using the attribute types
 // learned during training. Attributes unseen in training are inferred from
 // the target's own context.
 func (a *Assembler) AssembleTarget(img *sysimage.Image, training *dataset.Dataset) (*dataset.Dataset, error) {
-	parsed, err := parseImages([]*sysimage.Image{img})
+	pi, err := parseOne(img)
 	if err != nil {
 		return nil, err
 	}
-	pi := parsed[0]
+	a.Telemetry.Add(telemetry.CounterImagesParsed, 1)
+	a.Telemetry.Add(telemetry.CounterFilesParsed, int64(len(img.ConfigFiles)))
 	types := make(map[string]conftypes.Type)
 	for _, f := range pi.files {
 		for _, e := range f.Entries {
@@ -136,32 +317,96 @@ func (a *Assembler) AssembleTarget(img *sysimage.Image, training *dataset.Datase
 		d.DeclareAttr(name, t, false)
 	}
 	row := d.NewRow(img.ID)
-	a.fillRow(d, row, pi, types)
+	a.emitRow(directSink{d: d, row: row}, pi, types)
 	return d, nil
 }
 
-// fillRow adds the original entries, the Table 5a augmented attributes, and
-// the Table 5b environment attributes for one image.
-func (a *Assembler) fillRow(d *dataset.Dataset, row *dataset.Row, pi parsedImage, types map[string]conftypes.Type) {
+// rowSink receives the attribute operations emitRow produces for one row.
+// The sequential path applies them to the dataset directly; the parallel
+// path records them for a deterministic in-order replay.
+type rowSink interface {
+	declare(name string, t conftypes.Type, augmented bool)
+	add(name, value string)
+	setType(name string, t conftypes.Type)
+}
+
+// directSink applies row operations straight to a dataset row.
+type directSink struct {
+	d   *dataset.Dataset
+	row *dataset.Row
+}
+
+func (s directSink) declare(name string, t conftypes.Type, augmented bool) {
+	s.d.DeclareAttr(name, t, augmented)
+}
+func (s directSink) add(name, value string)                { s.d.Add(s.row, name, value) }
+func (s directSink) setType(name string, t conftypes.Type) { s.d.SetType(name, t) }
+
+// rowOp is one recorded dataset operation.
+type rowOp struct {
+	kind      uint8 // opDeclare, opAdd, opSetType
+	name      string
+	value     string // opAdd value
+	typ       conftypes.Type
+	augmented bool
+}
+
+const (
+	opDeclare uint8 = iota
+	opAdd
+	opSetType
+)
+
+// recordedRow buffers one row's operations for later replay.
+type recordedRow struct{ ops []rowOp }
+
+func (r *recordedRow) declare(name string, t conftypes.Type, augmented bool) {
+	r.ops = append(r.ops, rowOp{kind: opDeclare, name: name, typ: t, augmented: augmented})
+}
+func (r *recordedRow) add(name, value string) {
+	r.ops = append(r.ops, rowOp{kind: opAdd, name: name, value: value})
+}
+func (r *recordedRow) setType(name string, t conftypes.Type) {
+	r.ops = append(r.ops, rowOp{kind: opSetType, name: name, typ: t})
+}
+
+// replay applies the recorded operations to a dataset row in the exact
+// order emitRow produced them.
+func (r *recordedRow) replay(d *dataset.Dataset, row *dataset.Row) {
+	for _, op := range r.ops {
+		switch op.kind {
+		case opDeclare:
+			d.DeclareAttr(op.name, op.typ, op.augmented)
+		case opAdd:
+			d.Add(row, op.name, op.value)
+		case opSetType:
+			d.SetType(op.name, op.typ)
+		}
+	}
+}
+
+// emitRow produces the original entries, the Table 5a augmented
+// attributes, and the Table 5b environment attributes for one image.
+func (a *Assembler) emitRow(sink rowSink, pi parsedImage, types map[string]conftypes.Type) {
 	for _, f := range pi.files {
 		for _, e := range f.Entries {
 			for _, nv := range entryValues(f.App, e) {
-				d.DeclareAttr(nv.Name, types[nv.Name], false)
-				d.Add(row, nv.Name, nv.Value)
-				a.augment(d, row, nv.Name, nv.Value, types[nv.Name], pi.img)
+				sink.declare(nv.Name, types[nv.Name], false)
+				sink.add(nv.Name, nv.Value)
+				a.augment(sink, nv.Name, nv.Value, types[nv.Name], pi.img)
 			}
 		}
 	}
 	for _, env := range a.envAttrs {
 		if v, ok := env.Compute(pi.img); ok {
-			d.DeclareAttr(env.Name, env.Type, true)
-			d.Add(row, env.Name, v)
-			d.SetType(env.Name, env.Type)
+			sink.declare(env.Name, env.Type, true)
+			sink.add(env.Name, v)
+			sink.setType(env.Name, env.Type)
 		}
 	}
 }
 
-func (a *Assembler) augment(d *dataset.Dataset, row *dataset.Row, name, value string, t conftypes.Type, img *sysimage.Image) {
+func (a *Assembler) augment(sink rowSink, name, value string, t conftypes.Type, img *sysimage.Image) {
 	if a.SkipPatternValues && conftypes.LooksLikeRegexOrGlob(value) {
 		return
 	}
@@ -171,9 +416,9 @@ func (a *Assembler) augment(d *dataset.Dataset, row *dataset.Row, name, value st
 			continue
 		}
 		augName := name + "." + aug.Suffix
-		d.DeclareAttr(augName, aug.Type, true)
-		d.Add(row, augName, v)
-		d.SetType(augName, aug.Type)
+		sink.declare(augName, aug.Type, true)
+		sink.add(augName, v)
+		sink.setType(augName, aug.Type)
 	}
 }
 

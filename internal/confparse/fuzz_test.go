@@ -1,0 +1,74 @@
+package confparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzDialect is the shared fuzz body: parsing arbitrary content must
+// never panic, a parse error must carry the app and file context the
+// assembler relies on for fault isolation, and a successful parse must
+// render and re-parse without panicking.
+func fuzzDialect(f *testing.F, app string, seeds []string) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		file, err := Parse(app, "fuzz.conf", content)
+		if err != nil {
+			msg := err.Error()
+			if !strings.Contains(msg, app) || !strings.Contains(msg, "fuzz.conf") {
+				t.Fatalf("parse error lost its app/file context: %v", err)
+			}
+			return
+		}
+		rendered, err := Render(file)
+		if err != nil {
+			t.Fatalf("render of parsed file failed: %v", err)
+		}
+		// Re-parsing rendered output must not panic; well-formed inputs
+		// round-trip, adversarial ones may legitimately re-fail.
+		_, _ = Parse(app, "fuzz.conf", rendered)
+	})
+}
+
+func FuzzApacheParse(f *testing.F) {
+	fuzzDialect(f, "apache", []string{
+		"",
+		"ServerRoot /etc/apache2\nListen 80\n",
+		"LoadModule php_module modules/libphp.so\n",
+		"<VirtualHost *:80>\n  DocumentRoot /var/www\n</VirtualHost>\n",
+		"<VirtualHost *:80>\n<Directory /var/www>\nAllowOverride None\n</Directory>\n</VirtualHost>\n",
+		"# comment\n\nKeepAlive On\n",
+		"<VirtualHost *:80>\nDocumentRoot /var/www\n", // unclosed section
+		"</VirtualHost>\n", // close with no open
+		"<>\n",             // empty section
+		"<Broken\n",        // unterminated header
+	})
+}
+
+func FuzzINIParse(f *testing.F) {
+	fuzzDialect(f, "mysql", []string{
+		"",
+		"[mysqld]\ndatadir = /var/lib/mysql\nport = 3306\n",
+		"[mysqld]\nskip-networking\n",
+		"; comment\n# comment\nkey = value\n",
+		"[client]\nsocket=/run/mysqld/mysqld.sock\n",
+		"key = value with spaces\n",
+		"[unterminated\n",
+		"[]\n",
+		"= novalue\n",
+	})
+}
+
+func FuzzSSHDParse(f *testing.F) {
+	fuzzDialect(f, "sshd", []string{
+		"",
+		"Port 22\nPermitRootLogin no\n",
+		"ListenAddress 0.0.0.0\nListenAddress ::\n",
+		"Match User git\n  ForceCommand git-shell\n",
+		"Match\n", // Match with no criteria
+		"# comment\nSubsystem sftp /usr/lib/openssh/sftp-server\n",
+		"AcceptEnv LANG LC_*\n",
+	})
+}

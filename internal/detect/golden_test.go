@@ -1,0 +1,54 @@
+package detect
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare asserts got matches the committed golden file byte for
+// byte, so any change to the CLI-facing report rendering is reviewed, not
+// accidental.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s changed; run `go test ./internal/detect -update` if intended\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestRenderTextGolden(t *testing.T) {
+	goldenCompare(t, "report_text.golden", sampleReport().RenderText(0))
+}
+
+func TestRenderTextTopGolden(t *testing.T) {
+	goldenCompare(t, "report_text_top.golden", sampleReport().RenderText(2))
+}
+
+func TestRenderJSONGolden(t *testing.T) {
+	data, err := sampleReport().RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "report_json.golden", string(data))
+}
+
+func TestRenderTextEmptyGolden(t *testing.T) {
+	empty := &Report{SystemID: "img-clean"}
+	goldenCompare(t, "report_text_empty.golden", empty.RenderText(0))
+}

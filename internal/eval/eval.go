@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/assemble"
@@ -91,6 +92,47 @@ func TrainImages(images []*sysimage.Image) (*Trained, error) {
 	}, nil
 }
 
+// forEachApp evaluates fn for every app concurrently — the tables'
+// per-app work is independent — writing results by index so row order
+// stays in paper order. The error returned is the first in app order,
+// matching the sequential loops this replaces.
+func forEachApp(fn func(i int, app string) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(Apps))
+	for i, app := range Apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			errs[i] = fn(i, app)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trainAll trains every app concurrently and returns the knowledge keyed
+// by app.
+func trainAll(seed int64) (map[string]*Trained, error) {
+	trained := make([]*Trained, len(Apps))
+	if err := forEachApp(func(i int, app string) error {
+		tr, err := Train(app, 0, seed)
+		trained[i] = tr
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Trained, len(Apps))
+	for i, app := range Apps {
+		out[app] = trained[i]
+	}
+	return out, nil
+}
+
 // Detector returns a detector over the trained knowledge.
 func (t *Trained) Detector() *detect.Detector {
 	dt := detect.New(t.Data, t.Rules)
@@ -138,22 +180,25 @@ type Table2Row struct {
 // Table2 measures attribute counts before augmentation, after environment
 // integration, and after boolean discretization.
 func Table2(seed int64) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, app := range Apps {
+	rows := make([]Table2Row, len(Apps))
+	if err := forEachApp(func(i int, app string) error {
 		images, err := corpus.Training(app, TrainingSize(app), seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ds, err := assemble.New().AssembleTraining(images)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			App:       app,
 			Original:  ds.OriginalAttrCount(),
 			Augmented: ds.AugmentedAttrCount(),
 			Binomial:  ds.Discretize(nil).BinomialCount(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -210,15 +255,15 @@ func Table3(seed int64, fractions []float64, budget int) ([]Table3Row, error) {
 	if fractions == nil {
 		fractions = Table3Fractions
 	}
-	var rows []Table3Row
-	for _, app := range Apps {
+	perApp := make([][]Table3Row, len(Apps))
+	if err := forEachApp(func(ai int, app string) error {
 		images, err := corpus.Training(app, TrainingSize(app), seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ds, err := assemble.New().AssembleTraining(images)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		order := attrsByEntropy(ds)
 		for _, frac := range fractions {
@@ -245,8 +290,15 @@ func Table3(seed int64, fractions []float64, budget int) ([]Table3Row, error) {
 			} else {
 				row.FreqSets = res.Count
 			}
-			rows = append(rows, row)
+			perApp[ai] = append(perApp[ai], row)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, appRows := range perApp {
+		rows = append(rows, appRows...)
 	}
 	return rows, nil
 }
@@ -302,22 +354,22 @@ const InjectionsPerApp = 15
 // Table8 injects errors into a held-out image per app and counts how many
 // each detector reports.
 func Table8(seed int64) ([]Table8Row, error) {
-	var rows []Table8Row
-	for _, app := range Apps {
+	rows := make([]Table8Row, len(Apps))
+	if err := forEachApp(func(i int, app string) error {
 		tr, err := Train(app, 0, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Held-out victim image (different seed stream).
 		victims, err := corpus.Training(app, 1, seed+100)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		victim := victims[0]
 		victim.ID = app + "-victim"
 		injections, err := inject.New(seed+7).Inject(victim, app, InjectionsPerApp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		row := Table8Row{App: app, Total: len(injections)}
@@ -325,16 +377,16 @@ func Table8(seed int64) ([]Table8Row, error) {
 		bl := baseline.NewBaseline(tr.Data)
 		blFindings, err := bl.Check(victim)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ble := baseline.NewBaselineEnv(tr.Data)
 		bleFindings, err := ble.Check(victim)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		report, err := tr.Detector().Check(victim)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		for _, inj := range injections {
@@ -348,7 +400,10 @@ func Table8(seed int64) ([]Table8Row, error) {
 				row.EnCore++
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

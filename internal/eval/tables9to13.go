@@ -24,13 +24,9 @@ type Table9Row struct {
 // reconstructed cases is checked against the knowledge learned for its
 // application.
 func Table9(seed int64) ([]Table9Row, error) {
-	trained := map[string]*Trained{}
-	for _, app := range Apps {
-		tr, err := Train(app, 0, seed)
-		if err != nil {
-			return nil, err
-		}
-		trained[app] = tr
+	trained, err := trainAll(seed)
+	if err != nil {
+		return nil, err
 	}
 	var rows []Table9Row
 	for _, c := range corpus.RealWorldCases() {
@@ -104,13 +100,9 @@ type Table10Row struct {
 // private-cloud-like target populations and categorizes detections against
 // the planted ground truth.
 func Table10(seed int64) ([]Table10Row, error) {
-	trained := map[string]*Trained{}
-	for _, app := range Apps {
-		tr, err := Train(app, 0, seed)
-		if err != nil {
-			return nil, err
-		}
-		trained[app] = tr
+	trained, err := trainAll(seed)
+	if err != nil {
+		return nil, err
 	}
 	ec2, err := corpus.EC2Targets(seed + 1)
 	if err != nil {
@@ -195,11 +187,11 @@ type Table11Row struct {
 // type; Undetected counts ground-truth non-trivial attributes inferred as
 // trivial.
 func Table11(seed int64) ([]Table11Row, error) {
-	var rows []Table11Row
-	for _, app := range Apps {
+	rows := make([]Table11Row, len(Apps))
+	if err := forEachApp(func(i int, app string) error {
 		tr, err := Train(app, 0, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table11Row{App: app}
 		for _, a := range tr.Data.Attributes() {
@@ -223,7 +215,10 @@ func Table11(seed int64) ([]Table11Row, error) {
 				row.FalseTypes++
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -251,11 +246,11 @@ type Table12Row struct {
 // Table12 counts the rules learned with all filters on, classifying each
 // against the corpus ground truth.
 func Table12(seed int64) ([]Table12Row, error) {
-	var rows []Table12Row
-	for _, app := range Apps {
+	rows := make([]Table12Row, len(Apps))
+	if err := forEachApp(func(i int, app string) error {
 		tr, err := Train(app, 0, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truth := corpus.GroundTruthRules(app)
 		row := Table12Row{App: app, DetectedRules: len(tr.Rules)}
@@ -264,7 +259,10 @@ func Table12(seed int64) ([]Table12Row, error) {
 				row.FalsePositives++
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -302,11 +300,11 @@ type Table13Row struct {
 // Table13 re-runs inference with the entropy filter disabled and measures
 // what the filter removes.
 func Table13(seed int64) ([]Table13Row, error) {
-	var rows []Table13Row
-	for _, app := range Apps {
+	rows := make([]Table13Row, len(Apps))
+	if err := forEachApp(func(i int, app string) error {
 		tr, err := Train(app, 0, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truth := corpus.GroundTruthRules(app)
 		withFilter := map[string]bool{}
@@ -327,7 +325,10 @@ func Table13(seed int64) ([]Table13Row, error) {
 				row.FPReduced++
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

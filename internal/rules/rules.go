@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/stats"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 	"repro/internal/templates"
 )
 
@@ -98,6 +99,10 @@ type Engine struct {
 
 	// LastStats describes the most recent Infer/InferSerial run.
 	LastStats Stats
+
+	// Telemetry, when set, receives the inference stage timing and the
+	// candidate-validation counters. Nil disables instrumentation.
+	Telemetry *telemetry.Recorder
 }
 
 // NewEngine returns an engine with the predefined templates and default
@@ -122,6 +127,7 @@ type candidate struct {
 // its image so validators can consult the environment; rows whose image is
 // missing still participate in value-only validators.
 func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
+	defer e.Telemetry.StartStage(telemetry.StageRulesInfer)()
 	cands := e.candidates(d)
 	ctxs := contexts(d, images)
 
@@ -159,6 +165,8 @@ func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []
 		}
 	}
 	e.LastStats = tally(len(cands), reasons)
+	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(len(cands)))
+	e.Telemetry.Add(telemetry.CounterRulesKept, int64(e.LastStats.Kept))
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
 	return rules
 }
@@ -196,6 +204,7 @@ func tally(candidates int, reasons []rejectReason) Stats {
 // InferSerial is the single-threaded reference implementation, used by the
 // parallelism ablation benchmark.
 func (e *Engine) InferSerial(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
+	defer e.Telemetry.StartStage(telemetry.StageRulesInfer)()
 	ctxs := contexts(d, images)
 	cands := e.candidates(d)
 	reasons := make([]rejectReason, len(cands))
@@ -208,6 +217,8 @@ func (e *Engine) InferSerial(d *dataset.Dataset, images map[string]*sysimage.Ima
 		}
 	}
 	e.LastStats = tally(len(cands), reasons)
+	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(len(cands)))
+	e.Telemetry.Add(telemetry.CounterRulesKept, int64(e.LastStats.Kept))
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
 	return rules
 }

@@ -1,0 +1,288 @@
+// Package scan implements the batch target-scan engine: it assembles and
+// checks N target images over a bounded worker pool with per-image fault
+// isolation.
+//
+// The training phase and the detection phase of the paper are both
+// embarrassingly parallel; internal/rules already exploits that for
+// candidate validation and internal/assemble for training assembly. This
+// package does the same for the detection side at fleet scale, and adds
+// the failure semantics a production scanner needs: one malformed image
+// out of thousands must not abort the batch. By default a failing image
+// yields a per-image *ScanError in the result set while every other image
+// still produces its report; Strict mode preserves the historical
+// fail-fast behaviour (first error aborts the batch and cancels remaining
+// work).
+package scan
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/detect"
+	"repro/internal/sysimage"
+	"repro/internal/telemetry"
+)
+
+// CheckFunc checks one target image against previously learned knowledge.
+// encore.Framework.Check and CheckWithProfile both adapt to this shape.
+type CheckFunc func(img *sysimage.Image) (*detect.Report, error)
+
+// Engine scans batches of target images.
+type Engine struct {
+	// Check produces the report for one image. Required.
+	Check CheckFunc
+	// Workers bounds the pool; 0 means NumCPU.
+	Workers int
+	// Strict restores fail-fast semantics: the first failing image aborts
+	// the whole batch and Scan returns its error. When false (the
+	// default), failures are isolated per image and collected in the
+	// result set.
+	Strict bool
+	// Telemetry, when set, receives batch timings and counters.
+	Telemetry *telemetry.Recorder
+}
+
+// ScanError is the per-image failure record of a non-strict batch scan.
+type ScanError struct {
+	// ImageID is the failing image's ID ("" when the image could not even
+	// be decoded).
+	ImageID string
+	// Path is the source file, when the engine loaded the image itself.
+	Path string
+	// Err is the underlying assembly/check/decode error.
+	Err error
+}
+
+// Error renders the failure with its image context.
+func (e *ScanError) Error() string {
+	switch {
+	case e.ImageID != "":
+		return fmt.Sprintf("scan: image %s: %v", e.ImageID, e.Err)
+	case e.Path != "":
+		return fmt.Sprintf("scan: %s: %v", e.Path, e.Err)
+	default:
+		return fmt.Sprintf("scan: %v", e.Err)
+	}
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ScanError) Unwrap() error { return e.Err }
+
+// Item is the outcome for one input image, in input order. Exactly one of
+// Report and Err is set.
+type Item struct {
+	// ImageID identifies the image ("" if it could not be decoded).
+	ImageID string
+	// Report is the check result for a healthy image.
+	Report *detect.Report
+	// Err records why this image produced no report.
+	Err *ScanError
+}
+
+// Result is the outcome of one batch scan.
+type Result struct {
+	// Items holds one entry per input image, in input order.
+	Items []Item
+}
+
+// Reports returns the successful reports in input order.
+func (r *Result) Reports() []*detect.Report {
+	var out []*detect.Report
+	for _, it := range r.Items {
+		if it.Report != nil {
+			out = append(out, it.Report)
+		}
+	}
+	return out
+}
+
+// Errors returns the per-image failures in input order.
+func (r *Result) Errors() []*ScanError {
+	var out []*ScanError
+	for _, it := range r.Items {
+		if it.Err != nil {
+			out = append(out, it.Err)
+		}
+	}
+	return out
+}
+
+// AttrCount is one attribute with its fleet-wide warning count.
+type AttrCount struct {
+	Attr  string
+	Count int
+}
+
+// Summary aggregates a batch scan fleet-wide.
+type Summary struct {
+	// Scanned counts all input images, healthy or not.
+	Scanned int
+	// Flagged counts images with at least minWarnings warnings.
+	Flagged int
+	// Warnings is the total warning count across healthy images.
+	Warnings int
+	// Errors counts images that failed to scan.
+	Errors int
+	// ByKind tallies warnings per kind across the fleet.
+	ByKind map[detect.Kind]int
+	// HotAttrs ranks attributes by how often they were flagged
+	// (descending count, ties by name).
+	HotAttrs []AttrCount
+}
+
+// Summarize aggregates the result; minWarnings is the flagging floor used
+// for the Flagged count.
+func (r *Result) Summarize(minWarnings int) Summary {
+	s := Summary{Scanned: len(r.Items), ByKind: map[detect.Kind]int{}}
+	counts := map[string]int{}
+	for _, it := range r.Items {
+		if it.Err != nil {
+			s.Errors++
+			continue
+		}
+		s.Warnings += len(it.Report.Warnings)
+		for _, w := range it.Report.Warnings {
+			s.ByKind[w.Kind]++
+			counts[w.Attr]++
+		}
+		if len(it.Report.Warnings) >= minWarnings {
+			s.Flagged++
+		}
+	}
+	for attr, n := range counts {
+		s.HotAttrs = append(s.HotAttrs, AttrCount{Attr: attr, Count: n})
+	}
+	sort.Slice(s.HotAttrs, func(i, j int) bool {
+		if s.HotAttrs[i].Count != s.HotAttrs[j].Count {
+			return s.HotAttrs[i].Count > s.HotAttrs[j].Count
+		}
+		return s.HotAttrs[i].Attr < s.HotAttrs[j].Attr
+	})
+	return s
+}
+
+// task is one unit of batch work: either an already-loaded image or a file
+// to load first.
+type task struct {
+	path string
+	img  *sysimage.Image
+}
+
+// Scan checks every image over the worker pool. In Strict mode the first
+// failure (in input order among the processed images) aborts the batch; in
+// the default mode every failure becomes a per-image Item.Err and Scan
+// itself only errors on misuse (nil Check).
+func (e *Engine) Scan(images []*sysimage.Image) (*Result, error) {
+	tasks := make([]task, len(images))
+	for i, img := range images {
+		tasks[i] = task{img: img}
+	}
+	return e.run(tasks)
+}
+
+// ScanDir loads every "*.json" image in dir (sorted by file name, like
+// sysimage.LoadDir) and scans them. Files that fail to decode are
+// isolated exactly like images that fail to check: a per-image ScanError
+// in the default mode, a batch abort in Strict mode.
+func (e *Engine) ScanDir(dir string) (*Result, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	var tasks []task
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		tasks = append(tasks, task{path: filepath.Join(dir, ent.Name())})
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].path < tasks[j].path })
+	return e.run(tasks)
+}
+
+func (e *Engine) run(tasks []task) (*Result, error) {
+	if e.Check == nil {
+		return nil, fmt.Errorf("scan: engine has no Check function")
+	}
+	defer e.Telemetry.StartStage(telemetry.StageScanBatch)()
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+
+	items := make([]Item, len(tasks))
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if e.Strict && aborted.Load() {
+					continue
+				}
+				items[i] = e.runOne(tasks[i])
+				if e.Strict && items[i].Err != nil {
+					aborted.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	e.Telemetry.Add(telemetry.CounterImagesScanned, int64(len(tasks)))
+	if e.Strict {
+		for _, it := range items {
+			if it.Err != nil {
+				e.Telemetry.Add(telemetry.CounterScanErrors, 1)
+				return nil, it.Err
+			}
+		}
+	}
+	res := &Result{Items: items}
+	var findings int64
+	for _, it := range items {
+		if it.Err != nil {
+			e.Telemetry.Add(telemetry.CounterScanErrors, 1)
+			continue
+		}
+		findings += int64(len(it.Report.Warnings))
+	}
+	e.Telemetry.Add(telemetry.CounterFindingsEmitted, findings)
+	return res, nil
+}
+
+// runOne loads (if needed) and checks one image, converting any failure
+// into the item's ScanError.
+func (e *Engine) runOne(t task) Item {
+	img := t.img
+	if img == nil {
+		data, err := os.ReadFile(t.path)
+		if err != nil {
+			return Item{Err: &ScanError{Path: t.path, Err: err}}
+		}
+		img, err = sysimage.LoadJSON(data)
+		if err != nil {
+			return Item{Err: &ScanError{Path: t.path, Err: err}}
+		}
+	}
+	report, err := e.Check(img)
+	if err != nil {
+		return Item{ImageID: img.ID, Err: &ScanError{ImageID: img.ID, Path: t.path, Err: err}}
+	}
+	return Item{ImageID: img.ID, Report: report}
+}

@@ -1,0 +1,208 @@
+package scan_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	encore "repro"
+	"repro/internal/corpus"
+	"repro/internal/detect"
+	"repro/internal/scan"
+	"repro/internal/sysimage"
+	"repro/internal/telemetry"
+)
+
+// fleet returns learned knowledge plus a target fleet whose image at index
+// corruptAt (if >= 0) fails assembly with a parse error.
+func fleet(t *testing.T, n, corruptAt int) (*encore.Framework, *encore.Knowledge, []*sysimage.Image) {
+	t.Helper()
+	training, err := corpus.Training("mysql", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := encore.New()
+	k, err := fw.Learn(training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := corpus.Training("mysql", n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range targets {
+		img.ID = fmt.Sprintf("target-%03d", i)
+	}
+	if corruptAt >= 0 {
+		targets[corruptAt].ConfigFiles = append(targets[corruptAt].ConfigFiles, sysimage.ConfigFile{
+			App: "mysql", Path: "/etc/mysql/broken.cnf", Content: "[unterminated\n",
+		})
+	}
+	return fw, k, targets
+}
+
+// TestBatchFaultIsolation is the acceptance-criterion test: a batch over a
+// corpus containing one corrupt image returns findings for every other
+// image plus exactly one ScanError.
+func TestBatchFaultIsolation(t *testing.T) {
+	fw, k, targets := fleet(t, 6, 2)
+	eng := fw.ScanEngine(k)
+	res, err := eng.Scan(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != len(targets) {
+		t.Fatalf("items = %d, want %d", len(res.Items), len(targets))
+	}
+	errs := res.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("errors = %d, want exactly 1", len(errs))
+	}
+	if errs[0].ImageID != "target-002" {
+		t.Fatalf("failed image = %q, want target-002", errs[0].ImageID)
+	}
+	if !strings.Contains(errs[0].Error(), "target-002") || !strings.Contains(errs[0].Error(), "broken.cnf") {
+		t.Fatalf("ScanError lacks image/file context: %v", errs[0])
+	}
+	if got := len(res.Reports()); got != len(targets)-1 {
+		t.Fatalf("reports = %d, want %d", got, len(targets)-1)
+	}
+	for i, it := range res.Items {
+		if i == 2 {
+			continue
+		}
+		if it.Report == nil || it.Report.SystemID != fmt.Sprintf("target-%03d", i) {
+			t.Fatalf("item %d lost its report or its order", i)
+		}
+	}
+}
+
+// TestStrictFailFast checks the historical behaviour is preserved behind
+// Strict: the corrupt image aborts the whole batch.
+func TestStrictFailFast(t *testing.T) {
+	fw, k, targets := fleet(t, 6, 2)
+	eng := fw.ScanEngine(k)
+	eng.Strict = true
+	res, err := eng.Scan(targets)
+	if err == nil {
+		t.Fatal("strict scan of corrupt fleet should fail")
+	}
+	if res != nil {
+		t.Fatal("strict failure should not return a partial result")
+	}
+	var se *scan.ScanError
+	if !errors.As(err, &se) || se.ImageID != "target-002" {
+		t.Fatalf("error = %v, want ScanError for target-002", err)
+	}
+}
+
+// TestScanCleanFleet checks the no-error path across worker counts.
+func TestScanCleanFleet(t *testing.T) {
+	fw, k, targets := fleet(t, 5, -1)
+	for _, workers := range []int{0, 1, 4} {
+		eng := fw.ScanEngine(k)
+		eng.Workers = workers
+		res, err := eng.Scan(targets)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Errors()) != 0 || len(res.Reports()) != len(targets) {
+			t.Fatalf("workers=%d: unexpected result shape", workers)
+		}
+	}
+}
+
+// TestScanDirIsolatesDecodeErrors checks ScanDir treats an undecodable
+// image file like any other per-image failure.
+func TestScanDirIsolatesDecodeErrors(t *testing.T) {
+	fw, k, targets := fleet(t, 4, -1)
+	dir := t.TempDir()
+	if err := sysimage.SaveDir(dir, targets); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := fw.ScanEngine(k)
+	res, err := eng.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != len(targets)+1 {
+		t.Fatalf("items = %d, want %d", len(res.Items), len(targets)+1)
+	}
+	errs := res.Errors()
+	if len(errs) != 1 || !strings.Contains(errs[0].Path, "corrupt.json") {
+		t.Fatalf("errors = %v, want one decode failure for corrupt.json", errs)
+	}
+	if len(res.Reports()) != len(targets) {
+		t.Fatalf("reports = %d, want %d", len(res.Reports()), len(targets))
+	}
+
+	eng.Strict = true
+	if _, err := eng.ScanDir(dir); err == nil {
+		t.Fatal("strict ScanDir should fail on the corrupt file")
+	}
+}
+
+// TestSummarize checks the fleet aggregation maths and ordering.
+func TestSummarize(t *testing.T) {
+	res := &scan.Result{Items: []scan.Item{
+		{ImageID: "a", Report: &detect.Report{SystemID: "a", Warnings: []*detect.Warning{
+			{Kind: detect.KindType, Attr: "x"},
+			{Kind: detect.KindType, Attr: "y"},
+		}}},
+		{ImageID: "b", Report: &detect.Report{SystemID: "b", Warnings: []*detect.Warning{
+			{Kind: detect.KindCorrelation, Attr: "x"},
+		}}},
+		{ImageID: "c", Report: &detect.Report{SystemID: "c"}},
+		{Err: &scan.ScanError{ImageID: "d", Err: errors.New("boom")}},
+	}}
+	s := res.Summarize(2)
+	if s.Scanned != 4 || s.Flagged != 1 || s.Warnings != 3 || s.Errors != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ByKind[detect.KindType] != 2 || s.ByKind[detect.KindCorrelation] != 1 {
+		t.Fatalf("byKind = %v", s.ByKind)
+	}
+	want := []scan.AttrCount{{Attr: "x", Count: 2}, {Attr: "y", Count: 1}}
+	if len(s.HotAttrs) != 2 || s.HotAttrs[0] != want[0] || s.HotAttrs[1] != want[1] {
+		t.Fatalf("hotAttrs = %v", s.HotAttrs)
+	}
+}
+
+// TestScanTelemetry verifies the batch counters.
+func TestScanTelemetry(t *testing.T) {
+	fw, k, targets := fleet(t, 5, 1)
+	rec := telemetry.New()
+	eng := fw.ScanEngine(k)
+	eng.Telemetry = rec
+	res, err := eng.Scan(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter(telemetry.CounterImagesScanned); got != 5 {
+		t.Fatalf("images scanned = %d, want 5", got)
+	}
+	if got := rec.Counter(telemetry.CounterScanErrors); got != 1 {
+		t.Fatalf("scan errors = %d, want 1", got)
+	}
+	warnings := 0
+	for _, rep := range res.Reports() {
+		warnings += len(rep.Warnings)
+	}
+	if got := rec.Counter(telemetry.CounterFindingsEmitted); got != int64(warnings) {
+		t.Fatalf("findings counter = %d, want %d", got, warnings)
+	}
+}
+
+// TestEngineRequiresCheck pins the misuse error.
+func TestEngineRequiresCheck(t *testing.T) {
+	eng := &scan.Engine{}
+	if _, err := eng.Scan(nil); err == nil {
+		t.Fatal("engine without Check should error")
+	}
+}

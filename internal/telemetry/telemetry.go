@@ -1,0 +1,172 @@
+// Package telemetry provides the lightweight instrumentation threaded
+// through the assembly, rule-inference, and scan stages: named counters
+// (images parsed, attributes declared, rules validated, findings emitted)
+// and accumulated per-stage wall-clock timers.
+//
+// A Recorder is safe for concurrent use — pipeline workers update it while
+// running — and every method is nil-receiver safe, so instrumented code
+// can call it unconditionally and pay nothing when telemetry is off.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter names used by the instrumented pipeline stages. Stages add their
+// own names freely; these constants exist so the assembler, rule engine,
+// and scan engine agree with the CLI's -stats rendering.
+const (
+	CounterImagesParsed    = "assemble.images.parsed"
+	CounterFilesParsed     = "assemble.files.parsed"
+	CounterAttrsDeclared   = "assemble.attributes.declared"
+	CounterRulesValidated  = "rules.candidates.validated"
+	CounterRulesKept       = "rules.kept"
+	CounterImagesScanned   = "scan.images.scanned"
+	CounterFindingsEmitted = "scan.findings.emitted"
+	CounterScanErrors      = "scan.errors"
+)
+
+// Stage names used by the instrumented pipeline stages.
+const (
+	StageAssembleParse = "assemble.parse"
+	StageAssembleInfer = "assemble.infer"
+	StageAssembleRows  = "assemble.rows"
+	StageRulesInfer    = "rules.infer"
+	StageScanBatch     = "scan.batch"
+)
+
+// Recorder accumulates counters and stage timings.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	stages   map[string]stage
+}
+
+type stage struct {
+	total time.Duration
+	runs  int64
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: make(map[string]int64),
+		stages:   make(map[string]stage),
+	}
+}
+
+// Add increments a named counter. Safe on a nil recorder.
+func (r *Recorder) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// Observe accumulates one timed run of a stage. Safe on a nil recorder.
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s := r.stages[name]
+	s.total += d
+	s.runs++
+	r.stages[name] = s
+	r.mu.Unlock()
+}
+
+// StartStage starts timing a stage and returns the function that stops the
+// timer and records the elapsed time. Safe on a nil recorder.
+//
+//	defer rec.StartStage(telemetry.StageAssembleParse)()
+func (r *Recorder) StartStage(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Observe(name, time.Since(start)) }
+}
+
+// Counter returns the current value of a counter (0 if never added, or on
+// a nil recorder).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// CounterValue is one named counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// StageTiming is one stage's accumulated wall-clock time in a snapshot.
+type StageTiming struct {
+	Name  string
+	Total time.Duration
+	Runs  int64
+}
+
+// Snapshot is a point-in-time copy of a recorder, ordered by name so that
+// rendering is deterministic.
+type Snapshot struct {
+	Counters []CounterValue
+	Stages   []StageTiming
+}
+
+// Snapshot copies the recorder's current state. Safe on a nil recorder
+// (returns an empty snapshot).
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, v := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: v})
+	}
+	for name, st := range r.stages {
+		s.Stages = append(s.Stages, StageTiming{Name: name, Total: st.total, Runs: st.runs})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
+	return s
+}
+
+// Render formats the snapshot as the CLI's -stats block: counters first,
+// then stage timings, both sorted by name.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	b.WriteString("stats:\n")
+	if len(s.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "    %-36s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Stages) > 0 {
+		b.WriteString("  stages:\n")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "    %-36s %s (%d runs)\n", st.Name, st.Total.Round(time.Microsecond), st.Runs)
+		}
+	}
+	if len(s.Counters) == 0 && len(s.Stages) == 0 {
+		b.WriteString("  (empty)\n")
+	}
+	return b.String()
+}
+
+// Render formats the recorder's current state; see Snapshot.Render.
+func (r *Recorder) Render() string { return r.Snapshot().Render() }

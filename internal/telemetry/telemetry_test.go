@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add("x", 1)
+	r.Observe("y", time.Second)
+	r.StartStage("z")()
+	if r.Counter("x") != 0 {
+		t.Fatal("nil recorder should read zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Stages) != 0 {
+		t.Fatal("nil recorder snapshot should be empty")
+	}
+}
+
+func TestCountersAndStages(t *testing.T) {
+	r := New()
+	r.Add(CounterImagesParsed, 3)
+	r.Add(CounterImagesParsed, 2)
+	r.Observe(StageAssembleParse, 10*time.Millisecond)
+	r.Observe(StageAssembleParse, 5*time.Millisecond)
+	if got := r.Counter(CounterImagesParsed); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	s := r.Snapshot()
+	if len(s.Stages) != 1 || s.Stages[0].Total != 15*time.Millisecond || s.Stages[0].Runs != 2 {
+		t.Fatalf("stage snapshot = %+v", s.Stages)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("n", 1)
+				r.Observe("s", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+// TestRenderGolden locks the -stats output format: a deterministic
+// snapshot must render byte-identically to the committed golden file.
+func TestRenderGolden(t *testing.T) {
+	r := New()
+	r.Add(CounterImagesParsed, 60)
+	r.Add(CounterFilesParsed, 74)
+	r.Add(CounterAttrsDeclared, 214)
+	r.Add(CounterRulesValidated, 1520)
+	r.Add(CounterRulesKept, 33)
+	r.Add(CounterImagesScanned, 12)
+	r.Add(CounterFindingsEmitted, 41)
+	r.Add(CounterScanErrors, 1)
+	r.Observe(StageAssembleParse, 1530*time.Microsecond)
+	r.Observe(StageAssembleInfer, 2250*time.Microsecond)
+	r.Observe(StageAssembleRows, 870*time.Microsecond)
+	r.Observe(StageRulesInfer, 12400*time.Microsecond)
+	r.Observe(StageScanBatch, 9100*time.Microsecond)
+	r.Observe(StageScanBatch, 900*time.Microsecond)
+
+	got := r.Render()
+	golden := filepath.Join("testdata", "stats.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("stats rendering changed; run `go test ./internal/telemetry -update` if intended\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := New().Render(); got != "stats:\n  (empty)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+}
