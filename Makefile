@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 bench fuzz fmt
+.PHONY: tier1 tier2 bench bench-rules fuzz fmt
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
@@ -14,6 +14,14 @@ tier2:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Rule-inference perf trajectory: run the RuleInference benches (serial
+# oracle, parallel, indexed with the corpus-scaling axis) and record the
+# machine-readable results so speedups/regressions are tracked across PRs.
+bench-rules:
+	$(GO) test -run '^$$' -bench=RuleInference -benchmem -json . > BENCH_rules.json
+	@grep -o '"Output":"[^"]*"' BENCH_rules.json | sed 's/^"Output":"//;s/"$$//' | \
+		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
 # Short fuzz pass over each config-parser dialect (seed corpus always
 # runs as part of tier 1; this explores beyond it).

@@ -213,6 +213,26 @@ func BenchmarkRuleInferenceSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkRuleInferenceIndexed measures the columnar-index inference path
+// (bitset support pruning, co-occurrence sweeps, memoized entropies) on a
+// corpus-scaling axis, so bench runs track how inference scales with fleet
+// size, not just its apache/60 headline. The images=60 case is the number
+// to compare against BenchmarkRuleInferenceParallel's pre-index history.
+func BenchmarkRuleInferenceIndexed(b *testing.B) {
+	for _, n := range []int{60, 120, 240} {
+		b.Run(fmt.Sprintf("images=%d", n), func(b *testing.B) {
+			images, ds := benchCorpus(b, "apache", n)
+			byID := corpus.ByID(images)
+			eng := rules.NewEngine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Infer(ds, byID)
+			}
+			b.ReportMetric(float64(eng.LastStats.Candidates), "candidates")
+		})
+	}
+}
+
 func BenchmarkDetectorCheck(b *testing.B) {
 	images, err := corpus.Training("mysql", 60, benchSeed)
 	if err != nil {

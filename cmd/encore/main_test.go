@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/corpus"
@@ -29,6 +31,40 @@ func fixture(t *testing.T) (trainingDir, targetFile string) {
 		t.Fatal(err)
 	}
 	return trainingDir, targetFile
+}
+
+// TestRunLearnStatsShowsPruning asserts the -stats block surfaces the
+// rule engine's columnar-index pruning counters alongside the existing
+// pipeline counters.
+func TestRunLearnStatsShowsPruning(t *testing.T) {
+	training, _ := fixture(t)
+	rulesFile := filepath.Join(t.TempDir(), "rules.json")
+
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := runLearn([]string{"-training", training, "-rules", rulesFile, "-stats"})
+	w.Close()
+	os.Stderr = old
+	out, readErr := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for _, counter := range []string{
+		"rules.candidates.validated",
+		"rules.pruned.support",
+		"rules.pruned.entropy",
+	} {
+		if !strings.Contains(string(out), counter) {
+			t.Fatalf("-stats output missing %q:\n%s", counter, out)
+		}
+	}
 }
 
 func TestRunLearnWritesRules(t *testing.T) {

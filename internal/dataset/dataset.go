@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/conftypes"
-	"repro/internal/stats"
 )
 
 // Attribute is one column: a named, semantically typed configuration or
@@ -54,6 +54,11 @@ type Dataset struct {
 	attrs []Attribute
 	index map[string]int
 	Rows  []*Row
+
+	// idx caches the columnar snapshot (see index.go). Mutators store nil;
+	// Index rebuilds lazily. Atomic so concurrent readers (scan and rule
+	// inference worker pools) never observe a half-built snapshot.
+	idx atomic.Pointer[Index]
 }
 
 // New returns an empty dataset.
@@ -71,7 +76,20 @@ func (d *Dataset) DeclareAttr(name string, t conftypes.Type, augmented bool) Att
 	a := Attribute{Name: name, Type: t, Augmented: augmented}
 	d.index[name] = len(d.attrs)
 	d.attrs = append(d.attrs, a)
+	d.idx.Store(nil)
 	return a
+}
+
+// Index returns the columnar snapshot of the dataset, rebuilding it if a
+// mutation invalidated the cached one. The snapshot must not be retained
+// across mutations.
+func (d *Dataset) Index() *Index {
+	if ix := d.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildIndex(d)
+	d.idx.Store(ix)
+	return ix
 }
 
 // SetType overrides the declared type of an attribute (used when entry-level
@@ -111,6 +129,7 @@ func (d *Dataset) AttributesOfType(t conftypes.Type) []string {
 func (d *Dataset) NewRow(systemID string) *Row {
 	r := &Row{SystemID: systemID, Cells: make(map[string][]string)}
 	d.Rows = append(d.Rows, r)
+	d.idx.Store(nil)
 	return r
 }
 
@@ -119,39 +138,41 @@ func (d *Dataset) NewRow(systemID string) *Row {
 func (d *Dataset) Add(r *Row, attr, value string) {
 	d.DeclareAttr(attr, conftypes.TypeString, false)
 	r.Cells[attr] = append(r.Cells[attr], value)
+	d.idx.Store(nil)
 }
 
 // Column returns every instance value of the attribute across all rows
 // (multi-instance attributes like Apache's LoadModule contribute each
-// occurrence).
+// occurrence). The slice is preallocated from the index's cached instance
+// count.
 func (d *Dataset) Column(attr string) []string {
-	var out []string
-	for _, r := range d.Rows {
-		out = append(out, r.Cells[attr]...)
+	ix := d.Index()
+	n := ix.Instances(attr)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for _, vs := range ix.RowValues(attr) {
+		out = append(out, vs...)
 	}
 	return out
 }
 
 // Present counts the rows in which the attribute appears.
 func (d *Dataset) Present(attr string) int {
-	n := 0
-	for _, r := range d.Rows {
-		if len(r.Cells[attr]) > 0 {
-			n++
-		}
-	}
-	return n
+	return d.Index().Present(attr)
 }
 
 // Entropy returns the Shannon entropy of the attribute's value
-// distribution across all instances.
+// distribution across all instances (memoized on the columnar index).
 func (d *Dataset) Entropy(attr string) float64 {
-	return stats.EntropyOfValues(d.Column(attr))
+	return d.Index().Entropy(attr)
 }
 
-// Cardinality returns the number of distinct instance values.
+// Cardinality returns the number of distinct instance values (memoized on
+// the columnar index).
 func (d *Dataset) Cardinality(attr string) int {
-	return stats.Cardinality(d.Column(attr))
+	return d.Index().Cardinality(attr)
 }
 
 // OriginalAttrCount counts attribute occurrences the way mining tools see

@@ -1,0 +1,168 @@
+// Columnar index: a per-attribute snapshot of the dataset with presence
+// bitsets and memoized statistics.
+//
+// The assembled table is row-oriented (one map of cells per system image),
+// which is the natural shape for assembly but the wrong shape for rule
+// inference: the engine asks column questions — "in how many systems do A
+// and B co-occur?", "what is the entropy of A?" — thousands of times per
+// run. The Index answers those in O(rows/64) and O(1) respectively:
+//
+//   - each attribute gets a presence bitset ([]uint64, one bit per row), so
+//     candidate support is popcount(bitsA AND bitsB);
+//   - each attribute's per-row instance slices are laid out in a dense
+//     column, so validation sweeps index a slice instead of hashing into
+//     every row's cell map;
+//   - entropy, cardinality, presence, and total instance counts are
+//     computed once per snapshot and served from the cache.
+//
+// The snapshot is invalidated (not updated in place) by every dataset
+// mutation — Add, DeclareAttr, NewRow — and lazily rebuilt on the next
+// access. A caller must therefore not retain an *Index across mutations;
+// re-fetch it with Dataset.Index instead. Snapshot access is safe for
+// concurrent readers (the scan engine's workers and the rule engine's
+// candidate pool both read it in parallel).
+package dataset
+
+import (
+	"math"
+	"math/bits"
+)
+
+// colStats is the columnar view of one attribute.
+type colStats struct {
+	// bits is the presence bitset: bit r is set iff Rows[r] has at least
+	// one instance of the attribute.
+	bits []uint64
+	// rowVals holds each row's instance slice (nil for absent rows). The
+	// slices alias the row storage; the snapshot is discarded on mutation.
+	rowVals [][]string
+	// present is popcount(bits): the number of rows with the attribute.
+	present int
+	// instances is the total instance count across all rows.
+	instances int
+	// entropy is the Shannon entropy of the value distribution.
+	entropy float64
+	// card is the number of distinct instance values.
+	card int
+}
+
+// Index is an immutable columnar snapshot of a dataset. Obtain one with
+// Dataset.Index; all methods are safe for concurrent use.
+type Index struct {
+	rows  int
+	words int
+	cols  map[string]*colStats
+}
+
+// emptyCol is returned for attributes the snapshot does not know, so
+// lookups on undeclared names behave like an all-absent column.
+var emptyCol = &colStats{}
+
+func (ix *Index) col(attr string) *colStats {
+	if c, ok := ix.cols[attr]; ok {
+		return c
+	}
+	return emptyCol
+}
+
+// Rows returns the number of rows the snapshot covers.
+func (ix *Index) Rows() int { return ix.rows }
+
+// Present returns the number of rows in which the attribute appears.
+func (ix *Index) Present(attr string) int { return ix.col(attr).present }
+
+// Instances returns the total instance count of the attribute.
+func (ix *Index) Instances(attr string) int { return ix.col(attr).instances }
+
+// Entropy returns the memoized Shannon entropy of the attribute's value
+// distribution.
+func (ix *Index) Entropy(attr string) float64 { return ix.col(attr).entropy }
+
+// Cardinality returns the memoized distinct-value count.
+func (ix *Index) Cardinality(attr string) int { return ix.col(attr).card }
+
+// PresenceBits returns the attribute's presence bitset (bit r set iff row
+// r has the attribute). The returned slice is shared and must be treated
+// as read-only; it is nil for unknown attributes.
+func (ix *Index) PresenceBits(attr string) []uint64 { return ix.col(attr).bits }
+
+// RowValues returns the attribute's column: one instance slice per row
+// (nil for rows where the attribute is absent). Shared storage — read
+// only. It is nil for unknown attributes.
+func (ix *Index) RowValues(attr string) [][]string { return ix.col(attr).rowVals }
+
+// CoSupport returns the number of rows in which both attributes appear:
+// popcount(bitsA AND bitsB), O(rows/64).
+func (ix *Index) CoSupport(attrA, attrB string) int {
+	ba, bb := ix.col(attrA).bits, ix.col(attrB).bits
+	if len(ba) == 0 || len(bb) == 0 {
+		return 0
+	}
+	n := 0
+	for i, w := range ba {
+		n += bits.OnesCount64(w & bb[i])
+	}
+	return n
+}
+
+// buildIndex scans the table once and assembles the columnar snapshot.
+func buildIndex(d *Dataset) *Index {
+	rows := len(d.Rows)
+	words := (rows + 63) / 64
+	ix := &Index{rows: rows, words: words, cols: make(map[string]*colStats, len(d.attrs))}
+	newCol := func() *colStats {
+		return &colStats{bits: make([]uint64, words), rowVals: make([][]string, rows)}
+	}
+	for _, a := range d.attrs {
+		ix.cols[a.Name] = newCol()
+	}
+	for r, row := range d.Rows {
+		for name, vs := range row.Cells {
+			if len(vs) == 0 {
+				continue
+			}
+			c, ok := ix.cols[name]
+			if !ok {
+				// Cells can only gain attributes through Add, which
+				// declares the column; tolerate hand-built rows anyway.
+				c = newCol()
+				ix.cols[name] = c
+			}
+			c.bits[r>>6] |= 1 << (r & 63)
+			c.rowVals[r] = vs
+			c.present++
+			c.instances += len(vs)
+		}
+	}
+	for _, c := range ix.cols {
+		c.entropy, c.card = entropyAndCardinality(c.rowVals, c.instances)
+	}
+	return ix
+}
+
+// entropyAndCardinality computes the Shannon entropy (natural log) and
+// distinct-value count of a column. Values are accumulated in first-
+// appearance order so the floating-point sum — unlike one over Go's
+// randomized map iteration — is identical on every run.
+func entropyAndCardinality(rowVals [][]string, instances int) (float64, int) {
+	if instances == 0 {
+		return 0, 0
+	}
+	counts := make(map[string]int, instances)
+	order := make([]string, 0, instances)
+	for _, vs := range rowVals {
+		for _, v := range vs {
+			if counts[v] == 0 {
+				order = append(order, v)
+			}
+			counts[v]++
+		}
+	}
+	h := 0.0
+	total := float64(instances)
+	for _, v := range order {
+		p := float64(counts[v]) / total
+		h -= p * math.Log(p)
+	}
+	return h, len(order)
+}

@@ -39,8 +39,11 @@ func ThresholdSweep(app string, seed int64) ([]SweepPoint, error) {
 	truth := corpus.GroundTruthRules(app)
 	var points []SweepPoint
 
+	// One engine serves all 15 points: only the thresholds change between
+	// runs, so the per-row evaluation contexts (and the dataset's columnar
+	// index) are derived once instead of once per point.
+	eng := rules.NewEngine()
 	runWith := func(cfg rules.Config) SweepPoint {
-		eng := rules.NewEngine()
 		eng.Config = cfg
 		learned := eng.Infer(tr.Data, tr.ByID)
 		p := SweepPoint{

@@ -311,9 +311,13 @@ func Table13(seed int64) ([]Table13Row, error) {
 		for _, r := range tr.Rules {
 			withFilter[r.Key()] = true
 		}
-		eng := rules.NewEngine()
+		// Reuse the training engine (its evaluation contexts for tr.Data /
+		// tr.ByID are already memoized) with the entropy filter toggled
+		// off for the ablation run.
+		eng := tr.Engine
 		eng.Config.UseEntropyFilter = false
 		unfiltered := eng.Infer(tr.Data, tr.ByID)
+		eng.Config.UseEntropyFilter = true
 		row := Table13Row{App: app, Original: len(unfiltered)}
 		for _, r := range unfiltered {
 			if withFilter[r.Key()] {

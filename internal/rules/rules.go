@@ -5,14 +5,24 @@
 // support, confidence, and entropy filters.
 //
 // Instantiation of one candidate is independent of every other candidate
-// (zero shared state), so the engine evaluates candidates on a worker pool
+// (zero shared state), so the engine streams candidates to a worker pool
 // sized to the machine — the same parallelism the paper exploits with a
-// multi-process implementation.
+// multi-process implementation. On top of that, Infer runs against the
+// dataset's columnar index (see internal/dataset/index.go): candidate
+// support is popcount(bitsetA AND bitsetB) in O(rows/64), support-rejected
+// candidates die before any per-system validation, the validation sweep
+// itself iterates only the co-occurrence bitset, and the entropy filter
+// reads memoized per-attribute entropies instead of rebuilding value
+// histograms per candidate. InferSerial remains the index-free,
+// single-threaded oracle; the two are equivalence-tested on rules and
+// Stats alike.
 package rules
 
 import (
 	"encoding/json"
 	"fmt"
+	"math/bits"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -76,7 +86,10 @@ func DefaultConfig() Config {
 // Stats summarizes one inference run: how many candidates each filter
 // rejected. It explains where the typed search space went — the kind of
 // accounting Table 13 does for the entropy filter, generalized to all
-// three filters.
+// three filters. Filters apply in order support → confidence → entropy,
+// so e.g. EntropyRejected counts candidates that passed support and
+// confidence (Table 13's accounting of what the entropy filter alone
+// removes).
 type Stats struct {
 	// Candidates is the size of the typed instantiation space.
 	Candidates int
@@ -103,6 +116,14 @@ type Engine struct {
 	// Telemetry, when set, receives the inference stage timing and the
 	// candidate-validation counters. Nil disables instrumentation.
 	Telemetry *telemetry.Recorder
+
+	// ctxMu guards the memoized per-row evaluation contexts, shared
+	// across Infer/InferSerial runs over the same dataset and image map
+	// (the threshold sweeps re-infer 15x over one corpus).
+	ctxMu      sync.Mutex
+	ctxData    *dataset.Dataset
+	ctxImgsKey uintptr
+	ctxs       []*templates.Ctx
 }
 
 // NewEngine returns an engine with the predefined templates and default
@@ -123,50 +144,94 @@ type candidate struct {
 	attrB string
 }
 
+// inferTally accumulates one worker's share of an inference run, merged
+// after the pool drains so the hot loop touches no shared state.
+type inferTally struct {
+	rules         []*Rule
+	stats         Stats
+	prunedSupport int64 // candidates killed by the bitset before any Validate call
+}
+
+func (t *inferTally) record(r *Rule, reason rejectReason) {
+	switch reason {
+	case kept:
+		t.stats.Kept++
+	case noEvidence:
+		t.stats.NoEvidence++
+	case supportRejected:
+		t.stats.SupportRejected++
+	case confidenceRejected:
+		t.stats.ConfidenceRejected++
+	case entropyRejected:
+		t.stats.EntropyRejected++
+	}
+	if r != nil {
+		t.rules = append(t.rules, r)
+	}
+}
+
+func (t *inferTally) merge(o *inferTally) {
+	t.rules = append(t.rules, o.rules...)
+	t.stats.Kept += o.stats.Kept
+	t.stats.NoEvidence += o.stats.NoEvidence
+	t.stats.SupportRejected += o.stats.SupportRejected
+	t.stats.ConfidenceRejected += o.stats.ConfidenceRejected
+	t.stats.EntropyRejected += o.stats.EntropyRejected
+	t.prunedSupport += o.prunedSupport
+}
+
 // Infer learns concrete rules from the dataset. images maps system ID to
 // its image so validators can consult the environment; rows whose image is
 // missing still participate in value-only validators.
+//
+// Candidates are generated on the fly and streamed to the worker pool —
+// the full instantiation space (millions of structs in the untyped
+// ablation's worst case) is never materialized.
 func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
 	defer e.Telemetry.StartStage(telemetry.StageRulesInfer)()
-	cands := e.candidates(d)
-	ctxs := contexts(d, images)
+	ix := d.Index()
+	ctxs := e.contexts(d, images)
 
 	workers := e.Config.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(cands) && len(cands) > 0 {
-		workers = len(cands)
-	}
 
-	results := make([]*Rule, len(cands))
-	reasons := make([]rejectReason, len(cands))
+	tallies := make([]inferTally, workers)
+	next := make(chan candidate, 4*workers)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(t *inferTally) {
 			defer wg.Done()
-			for i := range next {
-				results[i], reasons[i] = e.evaluate(d, ctxs, cands[i])
+			for c := range next {
+				r, reason, pruned := e.evaluateIndexed(ix, ctxs, c)
+				t.record(r, reason)
+				if pruned {
+					t.prunedSupport++
+				}
 			}
-		}()
+		}(&tallies[w])
 	}
-	for i := range cands {
-		next <- i
-	}
+	candidates := 0
+	e.forEachCandidate(d, func(c candidate) {
+		candidates++
+		next <- c
+	})
 	close(next)
 	wg.Wait()
 
-	var rules []*Rule
-	for _, r := range results {
-		if r != nil {
-			rules = append(rules, r)
-		}
+	var total inferTally
+	for i := range tallies {
+		total.merge(&tallies[i])
 	}
-	e.LastStats = tally(len(cands), reasons)
-	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(len(cands)))
-	e.Telemetry.Add(telemetry.CounterRulesKept, int64(e.LastStats.Kept))
+	total.stats.Candidates = candidates
+	e.LastStats = total.stats
+	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(candidates))
+	e.Telemetry.Add(telemetry.CounterRulesKept, int64(total.stats.Kept))
+	e.Telemetry.Add(telemetry.CounterRulesPrunedSupport, total.prunedSupport)
+	e.Telemetry.Add(telemetry.CounterRulesPrunedEntropy, int64(total.stats.EntropyRejected))
+	rules := total.rules
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
 	return rules
 }
@@ -182,52 +247,34 @@ const (
 	entropyRejected
 )
 
-func tally(candidates int, reasons []rejectReason) Stats {
-	s := Stats{Candidates: candidates}
-	for _, r := range reasons {
-		switch r {
-		case kept:
-			s.Kept++
-		case noEvidence:
-			s.NoEvidence++
-		case supportRejected:
-			s.SupportRejected++
-		case confidenceRejected:
-			s.ConfidenceRejected++
-		case entropyRejected:
-			s.EntropyRejected++
-		}
-	}
-	return s
-}
-
-// InferSerial is the single-threaded reference implementation, used by the
-// parallelism ablation benchmark.
+// InferSerial is the single-threaded, index-free reference implementation:
+// the oracle for the parallelism and columnar-index equivalence tests, and
+// the baseline of the indexed-inference benchmark. It validates every
+// candidate against every system with plain row lookups and applies the
+// same filters in the same order as the indexed path.
 func (e *Engine) InferSerial(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
 	defer e.Telemetry.StartStage(telemetry.StageRulesInfer)()
-	ctxs := contexts(d, images)
-	cands := e.candidates(d)
-	reasons := make([]rejectReason, len(cands))
-	var rules []*Rule
-	for i, c := range cands {
-		var r *Rule
-		r, reasons[i] = e.evaluate(d, ctxs, c)
-		if r != nil {
-			rules = append(rules, r)
-		}
-	}
-	e.LastStats = tally(len(cands), reasons)
-	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(len(cands)))
-	e.Telemetry.Add(telemetry.CounterRulesKept, int64(e.LastStats.Kept))
+	ctxs := e.contexts(d, images)
+	var tally inferTally
+	candidates := 0
+	e.forEachCandidate(d, func(c candidate) {
+		candidates++
+		tally.record(e.evaluateSerial(d, ctxs, c))
+	})
+	tally.stats.Candidates = candidates
+	e.LastStats = tally.stats
+	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(candidates))
+	e.Telemetry.Add(telemetry.CounterRulesKept, int64(tally.stats.Kept))
+	rules := tally.rules
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
 	return rules
 }
 
-// candidates enumerates every eligible (template, attrA, attrB) pair.
-// Type-based attribute selection happens here: this is what keeps the
-// candidate space tractable compared with frequent-item-set mining.
-func (e *Engine) candidates(d *dataset.Dataset) []candidate {
-	var out []candidate
+// forEachCandidate enumerates every eligible (template, attrA, attrB) pair
+// without materializing the instantiation space. Type-based attribute
+// selection happens here: this is what keeps the candidate space tractable
+// compared with frequent-item-set mining.
+func (e *Engine) forEachCandidate(d *dataset.Dataset, yield func(candidate)) {
 	attrs := d.Attributes()
 	for _, tpl := range e.Templates {
 		var as, bs []dataset.Attribute
@@ -256,16 +303,20 @@ func (e *Engine) candidates(d *dataset.Dataset) []candidate {
 				if isOwnAugment(a, b) || isOwnAugment(b, a) {
 					continue
 				}
-				out = append(out, candidate{tpl: tpl, attrA: a.Name, attrB: b.Name})
+				yield(candidate{tpl: tpl, attrA: a.Name, attrB: b.Name})
 			}
 		}
 	}
-	return out
 }
 
 // CandidateCount exposes the size of the typed search space (used by the
-// typed-selection ablation).
-func (e *Engine) CandidateCount(d *dataset.Dataset) int { return len(e.candidates(d)) }
+// typed-selection ablation). It streams the space, so even the untyped
+// worst case costs no per-candidate allocation.
+func (e *Engine) CandidateCount(d *dataset.Dataset) int {
+	n := 0
+	e.forEachCandidate(d, func(candidate) { n++ })
+	return n
+}
 
 // isOwnAugment reports whether aug is an augmented attribute derived from
 // base (aug.Name == base.Name + "." + suffix).
@@ -274,17 +325,70 @@ func isOwnAugment(aug, base dataset.Attribute) bool {
 		aug.Name[:len(base.Name)] == base.Name && aug.Name[len(base.Name)] == '.'
 }
 
-func contexts(d *dataset.Dataset, images map[string]*sysimage.Image) []*templates.Ctx {
+// contexts returns the per-row evaluation contexts, memoized across runs
+// over the same (dataset, image map) pair so repeated inference — the
+// threshold sweep's 15 runs, Table 13's filtered/unfiltered pair — builds
+// them once.
+func (e *Engine) contexts(d *dataset.Dataset, images map[string]*sysimage.Image) []*templates.Ctx {
+	var key uintptr
+	if images != nil {
+		key = reflect.ValueOf(images).Pointer()
+	}
+	e.ctxMu.Lock()
+	defer e.ctxMu.Unlock()
+	if e.ctxData == d && e.ctxImgsKey == key && len(e.ctxs) == len(d.Rows) {
+		return e.ctxs
+	}
 	ctxs := make([]*templates.Ctx, len(d.Rows))
 	for i, row := range d.Rows {
 		ctxs[i] = &templates.Ctx{Row: row, Image: images[row.SystemID]}
 	}
+	e.ctxData, e.ctxImgsKey, e.ctxs = d, key, ctxs
 	return ctxs
 }
 
-// evaluate validates one candidate across all systems and applies the
-// filters; a nil rule is accompanied by the reason the candidate died.
-func (e *Engine) evaluate(d *dataset.Dataset, ctxs []*templates.Ctx, c candidate) (*Rule, rejectReason) {
+// evaluateIndexed validates one candidate using the columnar index:
+// support comes from the presence bitsets, the validation sweep visits
+// only co-occurrence rows, and the entropy filter reads memoized values.
+// pruned reports that the candidate died on the support filter before any
+// Validate call. A nil rule is accompanied by the reason the candidate
+// died; the classification is identical to evaluateSerial's.
+func (e *Engine) evaluateIndexed(ix *dataset.Index, ctxs []*templates.Ctx, c candidate) (_ *Rule, _ rejectReason, pruned bool) {
+	total := len(ctxs)
+	support := ix.CoSupport(c.attrA, c.attrB)
+	if total == 0 || support == 0 {
+		return nil, noEvidence, true
+	}
+	if stats.SupportFraction(support, total) < e.Config.MinSupportFraction {
+		return nil, supportRejected, true
+	}
+	bitsA, bitsB := ix.PresenceBits(c.attrA), ix.PresenceBits(c.attrB)
+	rowsA, rowsB := ix.RowValues(c.attrA), ix.RowValues(c.attrB)
+	applicable, valid := 0, 0
+	for w, wa := range bitsA {
+		word := wa & bitsB[w]
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			holds, app := c.tpl.Validate(rowsA[i], rowsB[i], ctxs[i])
+			if !app {
+				continue
+			}
+			applicable++
+			if holds {
+				valid++
+			}
+		}
+	}
+	r, reason := e.finish(c, total, support, applicable, valid, ix.Entropy(c.attrA), ix.Entropy(c.attrB))
+	return r, reason, false
+}
+
+// evaluateSerial validates one candidate with plain per-row lookups and no
+// index — the reference the indexed path is tested against. The dataset's
+// memoized entropy is shared with the indexed path so both report
+// bit-identical rule statistics.
+func (e *Engine) evaluateSerial(d *dataset.Dataset, ctxs []*templates.Ctx, c candidate) (*Rule, rejectReason) {
 	total := len(ctxs)
 	support, applicable, valid := 0, 0, 0
 	for _, ctx := range ctxs {
@@ -303,18 +407,29 @@ func (e *Engine) evaluate(d *dataset.Dataset, ctxs []*templates.Ctx, c candidate
 			valid++
 		}
 	}
-	if total == 0 || support == 0 || applicable == 0 {
+	if total == 0 || support == 0 {
 		return nil, noEvidence
 	}
 	if stats.SupportFraction(support, total) < e.Config.MinSupportFraction {
 		return nil, supportRejected
+	}
+	return e.finish(c, total, support, applicable, valid, d.Entropy(c.attrA), d.Entropy(c.attrB))
+}
+
+// finish applies the shared filter chain — no applicable evidence, then
+// confidence, then entropy — and builds the rule for survivors. Support
+// has already been checked; keeping the tail in one place guarantees the
+// indexed and serial paths classify candidates identically.
+func (e *Engine) finish(c candidate, total, support, applicable, valid int, entA, entB float64) (*Rule, rejectReason) {
+	if applicable == 0 {
+		return nil, noEvidence
 	}
 	conf := stats.Confidence(valid, applicable)
 	if conf < e.Config.MinConfidence {
 		return nil, confidenceRejected
 	}
 	if e.Config.UseEntropyFilter {
-		if d.Entropy(c.attrA) <= e.Config.EntropyThreshold || d.Entropy(c.attrB) <= e.Config.EntropyThreshold {
+		if entA <= e.Config.EntropyThreshold || entB <= e.Config.EntropyThreshold {
 			return nil, entropyRejected
 		}
 	}
@@ -326,8 +441,8 @@ func (e *Engine) evaluate(d *dataset.Dataset, ctxs []*templates.Ctx, c candidate
 		Support:    support,
 		Valid:      valid,
 		Confidence: conf,
-		EntropyA:   d.Entropy(c.attrA),
-		EntropyB:   d.Entropy(c.attrB),
+		EntropyA:   entA,
+		EntropyB:   entB,
 	}, kept
 }
 

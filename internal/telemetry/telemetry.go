@@ -20,14 +20,19 @@ import (
 // own names freely; these constants exist so the assembler, rule engine,
 // and scan engine agree with the CLI's -stats rendering.
 const (
-	CounterImagesParsed    = "assemble.images.parsed"
-	CounterFilesParsed     = "assemble.files.parsed"
-	CounterAttrsDeclared   = "assemble.attributes.declared"
-	CounterRulesValidated  = "rules.candidates.validated"
-	CounterRulesKept       = "rules.kept"
-	CounterImagesScanned   = "scan.images.scanned"
-	CounterFindingsEmitted = "scan.findings.emitted"
-	CounterScanErrors      = "scan.errors"
+	CounterImagesParsed   = "assemble.images.parsed"
+	CounterFilesParsed    = "assemble.files.parsed"
+	CounterAttrsDeclared  = "assemble.attributes.declared"
+	CounterRulesValidated = "rules.candidates.validated"
+	CounterRulesKept      = "rules.kept"
+	// CounterRulesPrunedSupport counts candidates the columnar index killed
+	// on the support bitset before any per-system validation; the entropy
+	// variant counts candidates the memoized entropy filter rejected.
+	CounterRulesPrunedSupport = "rules.pruned.support"
+	CounterRulesPrunedEntropy = "rules.pruned.entropy"
+	CounterImagesScanned      = "scan.images.scanned"
+	CounterFindingsEmitted    = "scan.findings.emitted"
+	CounterScanErrors         = "scan.errors"
 )
 
 // Stage names used by the instrumented pipeline stages.
