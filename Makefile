@@ -1,16 +1,30 @@
 GO ?= go
 
-.PHONY: tier1 tier2 bench bench-rules fuzz fmt
+.PHONY: tier1 tier2 smoke bench bench-rules bench-scan fuzz fmt
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
-# Tier 2: static analysis + the full suite under the race detector.
-# The parallel assembly, rule inference, batch scan, and eval paths all
-# run real goroutine pools, so tier 2 is where data races would surface.
+# Tier 2: static analysis + the full suite under the race detector, then
+# an end-to-end smoke of the CLI telemetry exporters. The parallel
+# assembly, rule inference, batch scan, and eval paths all run real
+# goroutine pools, so tier 2 is where data races would surface.
 tier2:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) test -race ./... && $(MAKE) smoke
+
+# Smoke: generate a small corpus, scan it with the JSON snapshot and
+# Chrome trace exporters on, and check both documents materialize.
+SMOKE_DIR := $(or $(TMPDIR),/tmp)/encore-smoke
+smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/imagegen -app mysql -n 8 -seed 7 -out $(SMOKE_DIR)/training
+	$(GO) run ./cmd/imagegen -app mysql -n 4 -seed 91 -out $(SMOKE_DIR)/targets
+	$(GO) run ./cmd/encore scan -training $(SMOKE_DIR)/training -targets $(SMOKE_DIR)/targets \
+		-stats-json $(SMOKE_DIR)/stats.json -trace-out $(SMOKE_DIR)/trace.json >/dev/null
+	grep -q '"version": 1' $(SMOKE_DIR)/stats.json
+	grep -q '"traceEvents"' $(SMOKE_DIR)/trace.json
+	@echo "smoke: telemetry exporters OK"
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -21,6 +35,14 @@ bench:
 bench-rules:
 	$(GO) test -run '^$$' -bench=RuleInference -benchmem -json . > BENCH_rules.json
 	@grep -o '"Output":"[^"]*"' BENCH_rules.json | sed 's/^"Output":"//;s/"$$//' | \
+		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
+
+# Batch-scan perf trajectory: the serial and NumCPU-worker fleet scans,
+# recorded machine-readably like bench-rules so scan throughput is
+# tracked across PRs.
+bench-scan:
+	$(GO) test -run '^$$' -bench=BatchScan -benchmem -json . > BENCH_scan.json
+	@grep -o '"Output":"[^"]*"' BENCH_scan.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
 # Short fuzz pass over each config-parser dialect (seed corpus always

@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	encore "repro"
 	"repro/internal/collector"
@@ -59,12 +62,18 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE] [-stats]
-  encore check    (-training DIR | -profile FILE) -target FILE [-top N] [-json] [-advise] [-stats]
-  encore scan     (-training DIR | -profile FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-stats]
+  encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE] [telemetry flags]
+  encore check    (-training DIR | -profile FILE) -target FILE [-top N] [-json] [-advise] [telemetry flags]
+  encore scan     (-training DIR | -profile FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-progress] [telemetry flags]
   encore rules    (-training DIR | -profile FILE) [-custom FILE]
   encore collect  -root DIR -id NAME -app NAME=RELPATH [-app ...] -out FILE
-  encore assemble -training DIR [-csv FILE]`)
+  encore assemble -training DIR [-csv FILE]
+
+telemetry flags (learn/check/scan):
+  -stats             print pipeline counters, stage timings, and latency quantiles to stderr
+  -stats-json FILE   write the versioned JSON telemetry snapshot (counters, histograms, span tree)
+  -trace-out FILE    write a Chrome trace_event timeline of the pipeline's worker spans
+  -pprof cpu|heap    capture a runtime profile ([-pprof-out FILE], default encore-<mode>.pprof)`)
 }
 
 func newFramework(customFile string) (*encore.Framework, error) {
@@ -77,15 +86,108 @@ func newFramework(customFile string) (*encore.Framework, error) {
 	return fw, nil
 }
 
-// withStats wires a telemetry recorder into the framework when -stats is
-// set and returns the function that prints the collected stats to stderr.
-func withStats(fw *encore.Framework, enabled bool) func() {
-	if !enabled {
-		return func() {}
+// obsFlags bundles the observability flags shared by learn/check/scan:
+// the -stats text block, the machine-readable exporters, and the
+// runtime/pprof hooks. (-pprof, not -profile: the knowledge-profile flags
+// already own that name.)
+type obsFlags struct {
+	stats     bool
+	statsJSON string
+	traceOut  string
+	pprofMode string
+	pprofOut  string
+
+	rec       *telemetry.Recorder
+	pprofFile *os.File
+}
+
+// registerObsFlags installs the shared observability flags on a command's
+// flag set.
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.BoolVar(&o.stats, "stats", false, "print pipeline telemetry to stderr")
+	fs.StringVar(&o.statsJSON, "stats-json", "", "write a versioned JSON telemetry snapshot to this file")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event file to this file")
+	fs.StringVar(&o.pprofMode, "pprof", "", "capture a runtime profile: cpu or heap")
+	fs.StringVar(&o.pprofOut, "pprof-out", "", "runtime profile output file (default encore-<mode>.pprof)")
+	return o
+}
+
+// start attaches a recorder to the framework when any telemetry sink was
+// requested and begins runtime profiling. The returned function writes
+// every requested artifact; defer it and fold its error into the
+// command's.
+func (o *obsFlags) start(fw *encore.Framework) (finish func() error, err error) {
+	if o.stats || o.statsJSON != "" || o.traceOut != "" {
+		o.rec = telemetry.New()
+		fw.SetTelemetry(o.rec)
 	}
-	rec := telemetry.New()
-	fw.SetTelemetry(rec)
-	return func() { fmt.Fprint(os.Stderr, rec.Render()) }
+	switch o.pprofMode {
+	case "", "heap":
+	case "cpu":
+		f, err := os.Create(o.pprofPath())
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		o.pprofFile = f
+	default:
+		return nil, fmt.Errorf("-pprof must be cpu or heap, got %q", o.pprofMode)
+	}
+	return o.finish, nil
+}
+
+func (o *obsFlags) pprofPath() string {
+	if o.pprofOut != "" {
+		return o.pprofOut
+	}
+	return "encore-" + o.pprofMode + ".pprof"
+}
+
+func (o *obsFlags) finish() error {
+	if o.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := o.pprofFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote cpu profile -> %s\n", o.pprofPath())
+	}
+	if o.pprofMode == "heap" {
+		f, err := os.Create(o.pprofPath())
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote heap profile -> %s\n", o.pprofPath())
+	}
+	if o.rec == nil {
+		return nil
+	}
+	snap := o.rec.Snapshot()
+	if o.stats {
+		fmt.Fprint(os.Stderr, snap.Render())
+	}
+	if o.statsJSON != "" {
+		if err := snap.WriteJSON(o.statsJSON); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		if err := snap.WriteChromeTrace(o.traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func learn(fw *encore.Framework, trainingDir string) (*encore.Knowledge, error) {
@@ -96,13 +198,13 @@ func learn(fw *encore.Framework, trainingDir string) (*encore.Knowledge, error) 
 	return fw.Learn(images)
 }
 
-func runLearn(args []string) error {
+func runLearn(args []string) (err error) {
 	fs := flag.NewFlagSet("learn", flag.ExitOnError)
 	training := fs.String("training", "", "directory of training image JSON files")
 	rulesOut := fs.String("rules", "", "write learned rules to this file (default stdout)")
 	profileOut := fs.String("profile", "", "write a full knowledge profile (rules + histograms) to this file")
 	customFile := fs.String("custom", "", "customization file")
-	showStats := fs.Bool("stats", false, "print pipeline telemetry to stderr")
+	obs := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,8 +215,15 @@ func runLearn(args []string) error {
 	if err != nil {
 		return err
 	}
-	flush := withStats(fw, *showStats)
-	defer flush()
+	finish, err := obs.start(fw)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	k, err := learn(fw, *training)
 	if err != nil {
 		return err
@@ -147,7 +256,7 @@ func runLearn(args []string) error {
 	return nil
 }
 
-func runCheck(args []string) error {
+func runCheck(args []string) (err error) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	training := fs.String("training", "", "directory of training image JSON files")
 	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
@@ -156,7 +265,7 @@ func runCheck(args []string) error {
 	top := fs.Int("top", 0, "print only the top N warnings (0 = all)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	withAdvice := fs.Bool("advise", false, "append remediation advice (requires -training)")
-	showStats := fs.Bool("stats", false, "print pipeline telemetry to stderr")
+	obs := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -167,8 +276,15 @@ func runCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	flush := withStats(fw, *showStats)
-	defer flush()
+	finish, err := obs.start(fw)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	data, err := os.ReadFile(*target)
 	if err != nil {
 		return err
@@ -189,7 +305,9 @@ func runCheck(args []string) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		report, err = fw.CheckWithProfile(p, img)
+		obs.rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
 		if err != nil {
 			return err
 		}
@@ -199,7 +317,9 @@ func runCheck(args []string) error {
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		report, err = fw.Check(k, img)
+		obs.rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
 		if err != nil {
 			return err
 		}
@@ -233,7 +353,7 @@ func runCheck(args []string) error {
 // and prints a fleet summary: per-image warning counts by kind, isolated
 // per-image failures, then the attributes flagged most often across the
 // fleet.
-func runScan(args []string) error {
+func runScan(args []string) (err error) {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	training := fs.String("training", "", "directory of training image JSON files")
 	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
@@ -242,7 +362,9 @@ func runScan(args []string) error {
 	customFile := fs.String("custom", "", "customization file")
 	strict := fs.Bool("strict", false, "abort the batch on the first failing image instead of isolating it")
 	workers := fs.Int("workers", 0, "scan worker pool size (0 = NumCPU)")
-	showStats := fs.Bool("stats", false, "print pipeline telemetry to stderr")
+	progress := fs.Bool("progress", false, "report periodic batch progress (done/total, findings, ETA) on stderr")
+	progressEvery := fs.Duration("progress-every", 2*time.Second, "progress reporting interval")
+	obs := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -253,8 +375,15 @@ func runScan(args []string) error {
 	if err != nil {
 		return err
 	}
-	flush := withStats(fw, *showStats)
-	defer flush()
+	finish, err := obs.start(fw)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	var eng *scan.Engine
 	if *profileIn != "" {
 		data, err := os.ReadFile(*profileIn)
@@ -275,6 +404,17 @@ func runScan(args []string) error {
 	}
 	eng.Strict = *strict
 	eng.Workers = *workers
+	if *progress {
+		// The reporter needs the batch size up front; count the target
+		// files the same way ScanDir will.
+		total, err := countTargets(*targets)
+		if err != nil {
+			return err
+		}
+		p := telemetry.NewProgress(os.Stderr, "scan", total, *progressEvery)
+		eng.Progress = p
+		defer p.Stop()
+	}
 
 	result, err := eng.ScanDir(*targets)
 	if err != nil {
@@ -320,6 +460,21 @@ func runScan(args []string) error {
 		}
 	}
 	return nil
+}
+
+// countTargets counts the "*.json" images ScanDir will pick up in dir.
+func countTargets(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // runRules prints the learned rules in human-readable form, grouped by

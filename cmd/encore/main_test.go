@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -189,6 +190,155 @@ func TestRunScan(t *testing.T) {
 	}
 	if err := runScan([]string{"-training", training}); err == nil {
 		t.Fatal("scan without targets should error")
+	}
+}
+
+// TestRunScanObservabilityExports is the acceptance-criterion test for
+// the telemetry exporters: one scan producing a versioned JSON snapshot
+// whose per-image scan histogram has non-zero quantiles, plus a loadable
+// Chrome trace with at least the batch span.
+func TestRunScanObservabilityExports(t *testing.T) {
+	training, _ := fixture(t)
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 4, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "stats.json")
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	err = runScan([]string{
+		"-training", training, "-targets", targets,
+		"-stats-json", out, "-trace-out", trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Version    int `json:"version"`
+		Histograms []struct {
+			Name      string `json:"name"`
+			Count     uint64 `json:"count"`
+			P50Micros int64  `json:"p50Micros"`
+			P99Micros int64  `json:"p99Micros"`
+		} `json:"histograms"`
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	if snap.Version != 1 {
+		t.Fatalf("snapshot version = %d, want 1", snap.Version)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name != "scan.image.scan" {
+			continue
+		}
+		found = true
+		if h.Count != 4 || h.P50Micros <= 0 || h.P99Micros <= 0 {
+			t.Fatalf("scan histogram = %+v, want count 4 and non-zero p50/p99", h)
+		}
+	}
+	if !found {
+		t.Fatalf("no scan.image.scan histogram in %s", data)
+	}
+	batchSpan := false
+	for _, sp := range snap.Spans {
+		if sp.Name == "scan.batch" {
+			batchSpan = true
+		}
+	}
+	if !batchSpan {
+		t.Fatal("no scan.batch span in snapshot")
+	}
+
+	traceData, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &tf); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	batchEvent := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "scan.batch" {
+			batchEvent = true
+		}
+	}
+	if !batchEvent {
+		t.Fatalf("no scan.batch complete event in trace: %s", traceData)
+	}
+}
+
+// TestRunScanProgress captures stderr and checks the -progress reporter
+// prints its final done/total line.
+func TestRunScanProgress(t *testing.T) {
+	training, _ := fixture(t)
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 3, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := runScan([]string{"-training", training, "-targets", targets, "-progress"})
+	w.Close()
+	os.Stderr = old
+	out, readErr := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(out), "scan: 3/3 images") {
+		t.Fatalf("progress output missing final line:\n%s", out)
+	}
+}
+
+// TestRunLearnPprof checks the runtime-profiling hooks write profiles and
+// reject unknown modes.
+func TestRunLearnPprof(t *testing.T) {
+	training, _ := fixture(t)
+	for _, mode := range []string{"cpu", "heap"} {
+		pprofFile := filepath.Join(t.TempDir(), mode+".pprof")
+		err := runLearn([]string{"-training", training, "-pprof", mode, "-pprof-out", pprofFile})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		info, err := os.Stat(pprofFile)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("mode %s: empty profile", mode)
+		}
+	}
+	if err := runLearn([]string{"-training", training, "-pprof", "goroutine"}); err == nil {
+		t.Fatal("unsupported -pprof mode should error")
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/confparse"
 	"repro/internal/conftypes"
@@ -62,10 +64,14 @@ func parseOne(img *sysimage.Image) (parsedImage, error) {
 	return pi, nil
 }
 
-func parseImages(images []*sysimage.Image) ([]parsedImage, error) {
+// parseImages is the sequential parse loop; each image's parse latency
+// feeds the per-image histogram.
+func (a *Assembler) parseImages(images []*sysimage.Image) ([]parsedImage, error) {
 	parsed := make([]parsedImage, 0, len(images))
 	for _, img := range images {
+		start := time.Now()
 		pi, err := parseOne(img)
+		a.Telemetry.ObserveDur(telemetry.HistImageParse, time.Since(start))
 		if err != nil {
 			return nil, err
 		}
@@ -88,15 +94,17 @@ func (a *Assembler) workerCount(n int) int {
 	return w
 }
 
-// forEachIndexed runs fn(i) for i in [0, n) on a bounded worker pool. fn
-// must write only to its own index of any shared slice.
-func forEachIndexed(n, workers int, fn func(int)) {
+// forEachIndexed runs fn(i, worker) for i in [0, n) on a bounded worker
+// pool; worker identifies the executing pool slot so instrumentation can
+// attribute work to timelines. fn must write only to its own index of any
+// shared slice.
+func forEachIndexed(n, workers int, fn func(i, worker int)) {
 	if n == 0 {
 		return
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -104,12 +112,12 @@ func forEachIndexed(n, workers int, fn func(int)) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(i, w)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i
@@ -121,12 +129,19 @@ func forEachIndexed(n, workers int, fn func(int)) {
 // parseImagesParallel parses every image on the worker pool. Results stay
 // in image order, and the error returned is the one the sequential path
 // would have hit first (lowest image index), so both paths are
-// observationally identical.
-func (a *Assembler) parseImagesParallel(images []*sysimage.Image, workers int) ([]parsedImage, error) {
+// observationally identical. Each image's parse is a child span of parent
+// attributed to its pool worker, and its latency feeds the per-image
+// parse histogram.
+func (a *Assembler) parseImagesParallel(images []*sysimage.Image, workers int, parent *telemetry.Span) ([]parsedImage, error) {
 	parsed := make([]parsedImage, len(images))
 	errs := make([]error, len(images))
-	forEachIndexed(len(images), workers, func(i int) {
+	forEachIndexed(len(images), workers, func(i, w int) {
+		sp := parent.StartChild("assemble.image",
+			telemetry.A("image", images[i].ID), telemetry.A("worker", strconv.Itoa(w)))
+		start := time.Now()
 		parsed[i], errs[i] = parseOne(images[i])
+		a.Telemetry.ObserveDur(telemetry.HistImageParse, time.Since(start))
+		sp.End()
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -160,9 +175,16 @@ func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset
 		return a.AssembleTrainingSerial(images)
 	}
 
+	root := a.Telemetry.StartSpan("assemble.training",
+		telemetry.A("images", strconv.Itoa(len(images))),
+		telemetry.A("workers", strconv.Itoa(workers)))
+	defer root.End()
+
+	parseSpan := root.StartChild("assemble.parse")
 	stopParse := a.Telemetry.StartStage(telemetry.StageAssembleParse)
-	parsed, err := a.parseImagesParallel(images, workers)
+	parsed, err := a.parseImagesParallel(images, workers, parseSpan)
 	stopParse()
+	parseSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -173,9 +195,10 @@ func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset
 	// then merge in image order — first-seen attribute order and per-
 	// attribute sample order come out exactly as the sequential single
 	// loop produces them.
+	inferSpan := root.StartChild("assemble.infer")
 	stopInfer := a.Telemetry.StartStage(telemetry.StageAssembleInfer)
 	extracted := make([][]nameValue, len(parsed))
-	forEachIndexed(len(parsed), workers, func(i int) {
+	forEachIndexed(len(parsed), workers, func(i, _ int) {
 		extracted[i] = extractPairs(parsed[i])
 	})
 	samples := make(map[string][]conftypes.Sample)
@@ -192,7 +215,7 @@ func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset
 
 	// Entry-level inference is independent per attribute.
 	inferred := make([]conftypes.Type, len(order))
-	forEachIndexed(len(order), workers, func(i int) {
+	forEachIndexed(len(order), workers, func(i, _ int) {
 		inferred[i] = a.Inferencer.InferEntryNamed(order[i], samples[order[i]])
 	})
 	types := make(map[string]conftypes.Type, len(order))
@@ -200,15 +223,21 @@ func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset
 		types[name] = inferred[i]
 	}
 	stopInfer()
+	inferSpan.SetAttr("attributes", strconv.Itoa(len(order)))
+	inferSpan.End()
 
 	// Pass 2: build each row's attribute operations concurrently (the
 	// augmenters' environment lookups dominate here), then replay them
 	// into the dataset in image order so dynamic column declaration is
 	// byte-identical to the sequential path.
+	rowsSpan := root.StartChild("assemble.rows")
 	stopRows := a.Telemetry.StartStage(telemetry.StageAssembleRows)
 	recorded := make([]recordedRow, len(parsed))
-	forEachIndexed(len(parsed), workers, func(i int) {
+	forEachIndexed(len(parsed), workers, func(i, w int) {
+		sp := rowsSpan.StartChild("assemble.row",
+			telemetry.A("image", parsed[i].img.ID), telemetry.A("worker", strconv.Itoa(w)))
 		a.emitRow(&recorded[i], parsed[i], types)
+		sp.End()
 	})
 	d := dataset.New()
 	for _, name := range order {
@@ -219,6 +248,7 @@ func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset
 		recorded[i].replay(d, row)
 	}
 	stopRows()
+	rowsSpan.End()
 	a.Telemetry.Add(telemetry.CounterAttrsDeclared, int64(len(d.Attributes())))
 	return d, nil
 }
@@ -227,8 +257,12 @@ func (a *Assembler) AssembleTraining(images []*sysimage.Image) (*dataset.Dataset
 // AssembleTraining, kept as the equivalence oracle for the parallel path
 // and for the parallelism ablation benchmark.
 func (a *Assembler) AssembleTrainingSerial(images []*sysimage.Image) (*dataset.Dataset, error) {
+	root := a.Telemetry.StartSpan("assemble.training",
+		telemetry.A("images", strconv.Itoa(len(images))),
+		telemetry.A("workers", "1"))
+	defer root.End()
 	stopParse := a.Telemetry.StartStage(telemetry.StageAssembleParse)
-	parsed, err := parseImages(images)
+	parsed, err := a.parseImages(images)
 	stopParse()
 	if err != nil {
 		return nil, err
@@ -286,7 +320,9 @@ func extractPairs(pi parsedImage) []nameValue {
 // learned during training. Attributes unseen in training are inferred from
 // the target's own context.
 func (a *Assembler) AssembleTarget(img *sysimage.Image, training *dataset.Dataset) (*dataset.Dataset, error) {
+	start := time.Now()
 	pi, err := parseOne(img)
+	a.Telemetry.ObserveDur(telemetry.HistImageParse, time.Since(start))
 	if err != nil {
 		return nil, err
 	}

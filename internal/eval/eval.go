@@ -22,7 +22,32 @@ import (
 	"repro/internal/rules"
 	"repro/internal/study"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 )
+
+// evalTelemetry is the recorder threaded through every assembler and rule
+// engine the tables construct. It is set once by cmd/evaluate before any
+// table runs and read concurrently afterwards; nil disables
+// instrumentation (the recorder API is nil-safe throughout).
+var evalTelemetry *telemetry.Recorder
+
+// SetTelemetry attaches a recorder to all subsequently built pipelines.
+// Call it before running tables, not concurrently with them.
+func SetTelemetry(rec *telemetry.Recorder) { evalTelemetry = rec }
+
+// newAssembler and newEngine are the only constructors the tables use, so
+// one recorder reaches every pipeline the evaluation spins up.
+func newAssembler() *assemble.Assembler {
+	a := assemble.New()
+	a.Telemetry = evalTelemetry
+	return a
+}
+
+func newEngine() *rules.Engine {
+	e := rules.NewEngine()
+	e.Telemetry = evalTelemetry
+	return e
+}
 
 // Apps are the applications of the detection evaluation, in paper order.
 var Apps = []string{"apache", "mysql", "php"}
@@ -58,16 +83,18 @@ func Train(app string, n int, seed int64) (*Trained, error) {
 	if n == 0 {
 		n = TrainingSize(app)
 	}
+	sp := evalTelemetry.StartSpan("eval.train", telemetry.A("app", app))
+	defer sp.End()
 	images, err := corpus.Training(app, n, seed)
 	if err != nil {
 		return nil, err
 	}
-	asm := assemble.New()
+	asm := newAssembler()
 	ds, err := asm.AssembleTraining(images)
 	if err != nil {
 		return nil, err
 	}
-	eng := rules.NewEngine()
+	eng := newEngine()
 	byID := corpus.ByID(images)
 	learned := eng.Infer(ds, byID)
 	return &Trained{
@@ -79,12 +106,12 @@ func Train(app string, n int, seed int64) (*Trained, error) {
 // TrainImages learns from an explicit image set (e.g. a LAMP corpus)
 // rather than a generated per-app population.
 func TrainImages(images []*sysimage.Image) (*Trained, error) {
-	asm := assemble.New()
+	asm := newAssembler()
 	ds, err := asm.AssembleTraining(images)
 	if err != nil {
 		return nil, err
 	}
-	eng := rules.NewEngine()
+	eng := newEngine()
 	byID := corpus.ByID(images)
 	return &Trained{
 		Images: images, ByID: byID, Data: ds,
@@ -186,7 +213,7 @@ func Table2(seed int64) ([]Table2Row, error) {
 		if err != nil {
 			return err
 		}
-		ds, err := assemble.New().AssembleTraining(images)
+		ds, err := newAssembler().AssembleTraining(images)
 		if err != nil {
 			return err
 		}
@@ -261,7 +288,7 @@ func Table3(seed int64, fractions []float64, budget int) ([]Table3Row, error) {
 		if err != nil {
 			return err
 		}
-		ds, err := assemble.New().AssembleTraining(images)
+		ds, err := newAssembler().AssembleTraining(images)
 		if err != nil {
 			return err
 		}

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/assemble"
 	"repro/internal/baseline"
 	"repro/internal/corpus"
 	"repro/internal/detect"
 	"repro/internal/inject"
-	"repro/internal/rules"
 )
 
 // ---- Extension: environment-error injection (Section 8 tie-in) ----
@@ -108,12 +106,12 @@ func ExtensionCrossComponent(n int, seed int64) (*CrossComponentResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	asm := assemble.New()
+	asm := newAssembler()
 	ds, err := asm.AssembleTraining(images)
 	if err != nil {
 		return nil, err
 	}
-	eng := rules.NewEngine()
+	eng := newEngine()
 	learned := eng.Infer(ds, corpus.ByID(images))
 
 	res := &CrossComponentResult{Rules: len(learned)}

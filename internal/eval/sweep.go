@@ -42,7 +42,7 @@ func ThresholdSweep(app string, seed int64) ([]SweepPoint, error) {
 	// One engine serves all 15 points: only the thresholds change between
 	// runs, so the per-row evaluation contexts (and the dataset's columnar
 	// index) are derived once instead of once per point.
-	eng := rules.NewEngine()
+	eng := newEngine()
 	runWith := func(cfg rules.Config) SweepPoint {
 		eng.Config = cfg
 		learned := eng.Infer(tr.Data, tr.ByID)

@@ -25,7 +25,9 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
@@ -197,21 +199,43 @@ func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []
 		workers = runtime.NumCPU()
 	}
 
+	root := e.Telemetry.StartSpan("rules.infer",
+		telemetry.A("templates", strconv.Itoa(len(e.Templates))),
+		telemetry.A("workers", strconv.Itoa(workers)))
+	defer root.End()
+	timed := e.Telemetry != nil
+
 	tallies := make([]inferTally, workers)
 	next := make(chan candidate, 4*workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(t *inferTally) {
+		go func(w int, t *inferTally) {
 			defer wg.Done()
+			ws := root.StartChild("rules.worker", telemetry.A("worker", strconv.Itoa(w)))
+			// Per-candidate latencies accumulate into a worker-local
+			// histogram (no lock per sample) merged once at drain.
+			var local telemetry.Histogram
+			n := 0
 			for c := range next {
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
 				r, reason, pruned := e.evaluateIndexed(ix, ctxs, c)
+				if timed {
+					local.Observe(time.Since(start))
+				}
+				n++
 				t.record(r, reason)
 				if pruned {
 					t.prunedSupport++
 				}
 			}
-		}(&tallies[w])
+			e.Telemetry.MergeHistogram(telemetry.HistRuleValidate, &local)
+			ws.SetAttr("candidates", strconv.Itoa(n))
+			ws.End()
+		}(w, &tallies[w])
 	}
 	candidates := 0
 	e.forEachCandidate(d, func(c candidate) {
@@ -254,13 +278,27 @@ const (
 // same filters in the same order as the indexed path.
 func (e *Engine) InferSerial(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
 	defer e.Telemetry.StartStage(telemetry.StageRulesInfer)()
+	root := e.Telemetry.StartSpan("rules.infer",
+		telemetry.A("templates", strconv.Itoa(len(e.Templates))),
+		telemetry.A("workers", "1"))
+	defer root.End()
+	timed := e.Telemetry != nil
 	ctxs := e.contexts(d, images)
 	var tally inferTally
+	var local telemetry.Histogram
 	candidates := 0
 	e.forEachCandidate(d, func(c candidate) {
 		candidates++
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		tally.record(e.evaluateSerial(d, ctxs, c))
+		if timed {
+			local.Observe(time.Since(start))
+		}
 	})
+	e.Telemetry.MergeHistogram(telemetry.HistRuleValidate, &local)
 	tally.stats.Candidates = candidates
 	e.LastStats = tally.stats
 	e.Telemetry.Add(telemetry.CounterRulesValidated, int64(candidates))

@@ -20,8 +20,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/sysimage"
@@ -43,8 +45,13 @@ type Engine struct {
 	// default), failures are isolated per image and collected in the
 	// result set.
 	Strict bool
-	// Telemetry, when set, receives batch timings and counters.
+	// Telemetry, when set, receives batch timings, per-image scan
+	// latencies, and per-worker spans.
 	Telemetry *telemetry.Recorder
+	// Progress, when set, is stepped once per finished image with that
+	// image's finding count — the periodic stderr reporter for long
+	// batches. The engine does not stop it; the caller owns its lifecycle.
+	Progress *telemetry.Progress
 }
 
 // ScanError is the per-image failure record of a non-strict batch scan.
@@ -173,6 +180,14 @@ type task struct {
 	img  *sysimage.Image
 }
 
+// taskName names a task for span attributes before its image is decoded.
+func taskName(t task) string {
+	if t.img != nil {
+		return t.img.ID
+	}
+	return filepath.Base(t.path)
+}
+
 // Scan checks every image over the worker pool. In Strict mode the first
 // failure (in input order among the processed images) aborts the batch; in
 // the default mode every failure becomes a per-image Item.Err and Scan
@@ -219,24 +234,43 @@ func (e *Engine) run(tasks []task) (*Result, error) {
 		workers = len(tasks)
 	}
 
+	root := e.Telemetry.StartSpan("scan.batch",
+		telemetry.A("images", strconv.Itoa(len(tasks))),
+		telemetry.A("workers", strconv.Itoa(workers)))
+	defer root.End()
+
 	items := make([]Item, len(tasks))
 	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			ws := root.StartChild("scan.worker", telemetry.A("worker", strconv.Itoa(w)))
+			defer ws.End()
 			for i := range next {
 				if e.Strict && aborted.Load() {
 					continue
 				}
+				sp := ws.StartChild("scan.image", telemetry.A("task", taskName(tasks[i])))
+				start := time.Now()
 				items[i] = e.runOne(tasks[i])
+				e.Telemetry.ObserveDur(telemetry.HistImageScan, time.Since(start))
+				if items[i].ImageID != "" {
+					sp.SetAttr("image", items[i].ImageID)
+				}
+				sp.End()
+				if items[i].Err == nil {
+					e.Progress.Step(len(items[i].Report.Warnings))
+				} else {
+					e.Progress.Step(0)
+				}
 				if e.Strict && items[i].Err != nil {
 					aborted.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range tasks {
 		next <- i

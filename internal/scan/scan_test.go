@@ -1,12 +1,14 @@
 package scan_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	encore "repro"
 	"repro/internal/corpus"
@@ -196,6 +198,87 @@ func TestScanTelemetry(t *testing.T) {
 	}
 	if got := rec.Counter(telemetry.CounterFindingsEmitted); got != int64(warnings) {
 		t.Fatalf("findings counter = %d, want %d", got, warnings)
+	}
+}
+
+// TestScanTelemetrySpansAndHistogram verifies the batch records per-image
+// scan latencies into the histogram, emits a span tree rooted at
+// scan.batch with per-worker and per-image children, and steps the
+// progress reporter once per image.
+func TestScanTelemetrySpansAndHistogram(t *testing.T) {
+	fw, k, targets := fleet(t, 5, -1)
+	rec := telemetry.New()
+	eng := fw.ScanEngine(k)
+	eng.Telemetry = rec
+	eng.Workers = 2
+	var buf bytes.Buffer
+	p := telemetry.NewProgress(&buf, "scan", len(targets), time.Hour)
+	eng.Progress = p
+	if _, err := eng.Scan(targets); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	if !strings.Contains(buf.String(), "scan: 5/5 images") {
+		t.Fatalf("progress output = %q", buf.String())
+	}
+
+	snap := rec.Snapshot()
+	var hist *telemetry.HistogramData
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == telemetry.HistImageScan {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil {
+		t.Fatalf("no %s histogram in snapshot", telemetry.HistImageScan)
+	}
+	if hist.Count != 5 {
+		t.Fatalf("scan latency samples = %d, want 5", hist.Count)
+	}
+	if hist.P50 <= 0 || hist.P99 <= 0 || hist.P99 > hist.Max {
+		t.Fatalf("degenerate quantiles: p50=%v p99=%v max=%v", hist.P50, hist.P99, hist.Max)
+	}
+
+	var rootID int64
+	workers, images := 0, 0
+	workerIDs := map[int64]bool{}
+	for _, sp := range snap.Spans {
+		if sp.Name == "scan.batch" {
+			rootID = sp.ID
+		}
+	}
+	if rootID == 0 {
+		t.Fatalf("no scan.batch root span; spans = %+v", snap.Spans)
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "scan.worker" {
+			workers++
+			workerIDs[sp.ID] = true
+			if sp.Parent != rootID {
+				t.Fatalf("worker span parent = %d, want %d", sp.Parent, rootID)
+			}
+		}
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name != "scan.image" {
+			continue
+		}
+		images++
+		if !workerIDs[sp.Parent] {
+			t.Fatalf("image span parent %d is not a worker span", sp.Parent)
+		}
+		found := false
+		for _, a := range sp.Attrs {
+			if a.Key == "image" && strings.HasPrefix(a.Value, "target-") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("image span lacks image attr: %+v", sp)
+		}
+	}
+	if workers != 2 || images != 5 {
+		t.Fatalf("workers=%d images=%d, want 2 and 5", workers, images)
 	}
 }
 

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// SnapshotVersion is the schema version stamped into every exported JSON
+// snapshot. Bump it when a field changes meaning or disappears; adding
+// fields is backward-compatible and does not require a bump.
+const SnapshotVersion = 1
+
+// The export structs fix the JSON field order (encoding/json emits struct
+// fields in declaration order) and flatten Durations to integral
+// microseconds, so snapshots diff cleanly and golden tests hold.
+
+type exportFile struct {
+	Version    int           `json:"version"`
+	Counters   []exportCount `json:"counters"`
+	Stages     []exportStage `json:"stages"`
+	Histograms []exportHist  `json:"histograms"`
+	Spans      []exportSpan  `json:"spans"`
+}
+
+type exportCount struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type exportStage struct {
+	Name        string `json:"name"`
+	TotalMicros int64  `json:"totalMicros"`
+	Runs        int64  `json:"runs"`
+}
+
+type exportHist struct {
+	Name      string         `json:"name"`
+	Count     uint64         `json:"count"`
+	SumMicros int64          `json:"sumMicros"`
+	MinMicros int64          `json:"minMicros"`
+	MaxMicros int64          `json:"maxMicros"`
+	P50Micros int64          `json:"p50Micros"`
+	P90Micros int64          `json:"p90Micros"`
+	P99Micros int64          `json:"p99Micros"`
+	Buckets   []exportBucket `json:"buckets"`
+}
+
+// exportBucket is one histogram bucket; UpperMicros -1 marks the overflow
+// bucket (an unbounded upper edge).
+type exportBucket struct {
+	UpperMicros int64  `json:"upperMicros"`
+	Count       uint64 `json:"count"`
+}
+
+type exportSpan struct {
+	ID          int64  `json:"id"`
+	Parent      int64  `json:"parent"`
+	Name        string `json:"name"`
+	Attrs       []Attr `json:"attrs,omitempty"`
+	StartMicros int64  `json:"startMicros"`
+	DurMicros   int64  `json:"durMicros"`
+}
+
+// JSON serializes the snapshot as the versioned machine-readable document
+// behind the CLI's -stats-json flag. Field order is fixed by the export
+// structs and every list is sorted (counters/stages/histograms by name,
+// spans by start offset then id), so equal snapshots serialize to equal
+// bytes.
+func (s Snapshot) JSON() ([]byte, error) {
+	f := exportFile{
+		Version:    SnapshotVersion,
+		Counters:   []exportCount{},
+		Stages:     []exportStage{},
+		Histograms: []exportHist{},
+		Spans:      []exportSpan{},
+	}
+	for _, c := range s.Counters {
+		f.Counters = append(f.Counters, exportCount{Name: c.Name, Value: c.Value})
+	}
+	for _, st := range s.Stages {
+		f.Stages = append(f.Stages, exportStage{Name: st.Name, TotalMicros: st.Total.Microseconds(), Runs: st.Runs})
+	}
+	for _, h := range s.Histograms {
+		eh := exportHist{
+			Name:      h.Name,
+			Count:     h.Count,
+			SumMicros: h.Sum.Microseconds(),
+			MinMicros: h.Min.Microseconds(),
+			MaxMicros: h.Max.Microseconds(),
+			P50Micros: h.P50.Microseconds(),
+			P90Micros: h.P90.Microseconds(),
+			P99Micros: h.P99.Microseconds(),
+			Buckets:   []exportBucket{},
+		}
+		for _, b := range h.Buckets {
+			ub := b.Upper.Microseconds()
+			if b.Upper == bucketUpper(histBuckets) {
+				ub = -1
+			}
+			eh.Buckets = append(eh.Buckets, exportBucket{UpperMicros: ub, Count: b.Count})
+		}
+		f.Histograms = append(f.Histograms, eh)
+	}
+	for _, sp := range s.Spans {
+		f.Spans = append(f.Spans, exportSpan{
+			ID:          sp.ID,
+			Parent:      sp.Parent,
+			Name:        sp.Name,
+			Attrs:       sp.Attrs,
+			StartMicros: sp.Start.Microseconds(),
+			DurMicros:   sp.Dur.Microseconds(),
+		})
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encode snapshot: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteJSON writes the snapshot document to a file.
+func (s Snapshot) WriteJSON(path string) error {
+	data, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// NormalizeTimes returns a copy of the snapshot with every span rewritten
+// onto a synthetic clock — span i (in the snapshot's deterministic order)
+// starts at i*step and lasts step — and every stage total zeroed. Counter
+// values, histogram contents, span names/ids/attrs, and the tree shape are
+// preserved. Golden tests use this to strip the only nondeterministic
+// inputs (wall-clock readings) from exported documents.
+func (s Snapshot) NormalizeTimes(step time.Duration) Snapshot {
+	out := s
+	out.Stages = append([]StageTiming(nil), s.Stages...)
+	for i := range out.Stages {
+		out.Stages[i].Total = 0
+	}
+	out.Spans = append([]SpanData(nil), s.Spans...)
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].ID < out.Spans[j].ID })
+	for i := range out.Spans {
+		out.Spans[i].Start = time.Duration(i) * step
+		out.Spans[i].Dur = step
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket edges: bucket i holds samples in
+// (upper(i-1), upper(i)], zero and negative samples land in bucket 0, and
+// anything past the last boundary lands in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},                   // exactly upper(0): inclusive
+		{time.Microsecond + time.Nanosecond, 1}, // one past upper(0)
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + time.Nanosecond, 2},
+		{time.Millisecond, 10}, // 1024µs bound is upper(10)
+		{time.Second, 20},      // 1048576µs bound is upper(20)
+		{bucketUpper(histBuckets - 1), histBuckets - 1},
+		{bucketUpper(histBuckets-1) + time.Nanosecond, histBuckets},
+		{time.Duration(math.MaxInt64), histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) != 2*bucketUpper(i-1) {
+			t.Fatalf("bucket %d bound %v is not double bucket %d bound %v",
+				i, bucketUpper(i), i-1, bucketUpper(i-1))
+		}
+	}
+	if bucketUpper(histBuckets) != time.Duration(math.MaxInt64) {
+		t.Fatal("overflow bucket should report the maximum Duration bound")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read all zeros")
+	}
+	h.Observe(5 * time.Millisecond)
+	if h.Count() != 1 || h.Sum() != 5*time.Millisecond {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	// A single sample is every quantile, including out-of-range q.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 5*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want 5ms", q, got)
+		}
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	if h.Min() != time.Millisecond || h.Max() != 20*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(1); got != 20*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want the max", got)
+	}
+}
+
+// TestQuantileOracle checks the estimator against a sorted-sample oracle on
+// randomized inputs: for each q the estimate must fall inside the bucket
+// that holds the true nearest-rank sample quantile, clipped to the observed
+// range — the resolution guarantee log-bucketing promises.
+func TestQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		samples := make([]time.Duration, n)
+		var h Histogram
+		for i := range samples {
+			// Log-uniform over ~100ns .. ~1000s, crossing many buckets.
+			d := time.Duration(100 * math.Pow(10, rng.Float64()*10))
+			samples[i] = d
+			h.Observe(d)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := samples[rank-1]
+			b := bucketFor(truth)
+			lo := time.Duration(0)
+			if b > 0 {
+				lo = bucketUpper(b - 1)
+			}
+			hi := bucketUpper(b)
+			if hi > h.Max() {
+				hi = h.Max()
+			}
+			got := h.Quantile(q)
+			if got < lo || got > hi {
+				t.Fatalf("trial %d n=%d q=%v: estimate %v outside bucket [%v, %v] of true quantile %v",
+					trial, n, q, got, lo, hi, truth)
+			}
+			if got <= 0 {
+				t.Fatalf("trial %d q=%v: estimate %v not positive for positive samples", trial, q, got)
+			}
+		}
+	}
+}
+
+// TestMergeEquivalence checks the property that makes per-worker local
+// histograms sound: merging k shards is identical to observing every
+// sample into one histogram, regardless of how samples were distributed.
+func TestMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const workers = 5
+	var whole Histogram
+	shards := make([]Histogram, workers)
+	for i := 0; i < 3000; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Second)))
+		whole.Observe(d)
+		shards[rng.Intn(workers)].Observe(d)
+	}
+	var merged Histogram
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if merged != whole {
+		t.Fatalf("merged shards differ from the single histogram:\nmerged = %+v\nwhole  = %+v", merged, whole)
+	}
+	// Merging a nil or empty histogram is a no-op.
+	merged.Merge(nil)
+	merged.Merge(&Histogram{})
+	if merged != whole {
+		t.Fatal("merging nil/empty histograms changed the result")
+	}
+}
+
+// TestMergeHistogramConcurrent drives the worker-local-then-merge pattern
+// used by the rule engine under the race detector: concurrent goroutines
+// each fold a private histogram into the recorder, and the result must
+// equal a serial reference.
+func TestMergeHistogramConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	rec := New()
+	var ref Histogram
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			ref.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local Histogram
+			for i := 0; i < perWorker; i++ {
+				local.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+			rec.MergeHistogram(HistRuleValidate, &local)
+		}(w)
+	}
+	wg.Wait()
+	snap := rec.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	got := snap.Histograms[0]
+	want := ref.data(HistRuleValidate)
+	if got.Count != want.Count || got.Sum != want.Sum || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("summary mismatch:\ngot  = %+v\nwant = %+v", got, want)
+	}
+	if got.P50 != want.P50 || got.P90 != want.P90 || got.P99 != want.P99 {
+		t.Fatalf("quantile mismatch:\ngot  = %+v\nwant = %+v", got, want)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("bucket count mismatch: %d vs %d", len(got.Buckets), len(want.Buckets))
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d mismatch: %+v vs %+v", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+}
+
+// TestObserveDurNilSafe extends the recorder nil-safety guarantee to the
+// histogram entry points.
+func TestObserveDurNilSafe(t *testing.T) {
+	var r *Recorder
+	r.ObserveDur(HistImageScan, time.Second)
+	var h Histogram
+	h.Observe(time.Second)
+	r.MergeHistogram(HistImageScan, &h)
+	if s := r.Snapshot(); len(s.Histograms) != 0 {
+		t.Fatal("nil recorder accumulated histogram data")
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a periodic progress reporter for long batch runs: a
+// background ticker prints "done/total, findings, elapsed, eta" lines
+// until Stop, which prints one final line. Workers call Step concurrently;
+// all methods are safe on a nil reporter, so pipelines can thread one
+// through unconditionally.
+type Progress struct {
+	w        io.Writer
+	label    string
+	total    int64
+	start    time.Time
+	done     atomic.Int64
+	findings atomic.Int64
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	stop     sync.Once
+}
+
+// NewProgress starts a reporter writing to w every interval (<= 0 means
+// every 2s). label prefixes every line ("scan"), total is the number of
+// units expected.
+func NewProgress(w io.Writer, label string, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &Progress{
+		w:     w,
+		label: label,
+		total: int64(total),
+		start: time.Now(),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				p.report(false)
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Step records one finished unit and its finding count. Safe on a nil
+// reporter and from any goroutine.
+func (p *Progress) Step(findings int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	p.findings.Add(int64(findings))
+}
+
+// Stop halts the ticker and prints the final line. Safe on a nil reporter
+// and idempotent.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stop.Do(func() {
+		close(p.quit)
+		p.wg.Wait()
+		p.report(true)
+	})
+}
+
+func (p *Progress) report(final bool) {
+	done := p.done.Load()
+	findings := p.findings.Load()
+	elapsed := time.Since(p.start)
+	line := fmt.Sprintf("%s: %d/%d images, %d findings, elapsed %s",
+		p.label, done, p.total, findings, elapsed.Round(10*time.Millisecond))
+	if !final && done > 0 && done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
+		line += fmt.Sprintf(", eta %s", eta.Round(10*time.Millisecond))
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProgressFinalLine checks the summary printed at Stop: totals, the
+// finding count, and no ETA on the final line.
+func TestProgressFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "scan", 10, time.Hour) // ticker never fires
+	for i := 0; i < 10; i++ {
+		p.Step(2)
+	}
+	p.Stop()
+	out := buf.String()
+	if !strings.HasPrefix(out, "scan: 10/10 images, 20 findings, elapsed ") {
+		t.Fatalf("final line = %q", out)
+	}
+	if strings.Contains(out, "eta") {
+		t.Fatalf("final line should not carry an ETA: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("expected exactly one line, got %q", out)
+	}
+}
+
+// syncWriter lets the test poll output while the reporter's ticker
+// goroutine is still writing.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestProgressPeriodicReports checks the ticker goroutine emits interim
+// lines (with an ETA while mid-run) before the final summary.
+func TestProgressPeriodicReports(t *testing.T) {
+	var w syncWriter
+	p := NewProgress(&w, "scan", 4, time.Millisecond)
+	p.Step(1)
+	p.Step(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(w.String(), "scan: 2/4") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no interim report after 2/4 steps; output = %q", w.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p.Step(1)
+	p.Step(1)
+	p.Stop()
+	out := w.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected interim + final lines, got %q", out)
+	}
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "scan: 4/4 images, 4 findings") {
+		t.Fatalf("final line = %q", last)
+	}
+	etaSeen := false
+	for _, l := range lines[:len(lines)-1] {
+		if strings.Contains(l, "eta ") {
+			etaSeen = true
+		}
+	}
+	if !etaSeen {
+		t.Fatalf("no interim line carried an ETA: %q", out)
+	}
+}
+
+// TestProgressNilAndIdempotent pins nil safety and double-Stop.
+func TestProgressNilAndIdempotent(t *testing.T) {
+	var p *Progress
+	p.Step(3)
+	p.Stop()
+	p.Stop()
+
+	q := NewProgress(io.Discard, "x", 1, 0) // default interval path
+	q.Step(1)
+	q.Stop()
+	q.Stop() // second Stop must not panic or double-report
+}
+
+// TestProgressConcurrentSteps drives Step from many goroutines under the
+// race detector, mirroring how the scan pool uses it.
+func TestProgressConcurrentSteps(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "scan", 64, time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				p.Step(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Stop()
+	if !strings.Contains(buf.String(), "scan: 64/64 images, 64 findings") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}

@@ -1,11 +1,23 @@
-// Package telemetry provides the lightweight instrumentation threaded
-// through the assembly, rule-inference, and scan stages: named counters
-// (images parsed, attributes declared, rules validated, findings emitted)
-// and accumulated per-stage wall-clock timers.
+// Package telemetry is the observability layer threaded through the
+// assembly, rule-inference, scan, and evaluation pipelines. It records
+// four kinds of signal:
+//
+//   - named counters (images parsed, attributes declared, rules
+//     validated, findings emitted),
+//   - accumulated per-stage wall-clock timers (the coarse unit kept for
+//     compatibility with the original -stats output),
+//   - log-bucketed latency histograms with quantile estimation — the
+//     unit of timing truth for per-image parse, per-image scan, and
+//     per-candidate validation latencies (see histogram.go),
+//   - hierarchical spans with attributes (image name, worker id, app),
+//     exportable as a Chrome trace_event timeline (see span.go,
+//     trace.go).
 //
 // A Recorder is safe for concurrent use — pipeline workers update it while
 // running — and every method is nil-receiver safe, so instrumented code
 // can call it unconditionally and pay nothing when telemetry is off.
+// Snapshots export as deterministic text (Render), a versioned JSON
+// document (JSON/WriteJSON), or a Chrome trace (ChromeTrace).
 package telemetry
 
 import (
@@ -13,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,11 +57,29 @@ const (
 	StageScanBatch     = "scan.batch"
 )
 
-// Recorder accumulates counters and stage timings.
+// Histogram names used by the instrumented pipeline stages: per-unit
+// latency distributions where the stage timers above only keep totals.
+const (
+	HistImageParse   = "assemble.image.parse"
+	HistImageScan    = "scan.image.scan"
+	HistRuleValidate = "rules.candidate.validate"
+	HistTargetCheck  = "detect.target.check"
+)
+
+// minRenderPad is the floor for the rendered name column, chosen so the
+// original counter/stage names keep their historical alignment.
+const minRenderPad = 36
+
+// Recorder accumulates counters, stage timings, latency histograms, and
+// completed spans.
 type Recorder struct {
 	mu       sync.Mutex
+	epoch    time.Time
 	counters map[string]int64
 	stages   map[string]stage
+	hists    map[string]*Histogram
+	spans    []SpanData
+	spanID   atomic.Int64
 }
 
 type stage struct {
@@ -56,11 +87,14 @@ type stage struct {
 	runs  int64
 }
 
-// New returns an empty recorder.
+// New returns an empty recorder. Span and trace timestamps are offsets
+// from this moment.
 func New() *Recorder {
 	return &Recorder{
+		epoch:    time.Now(),
 		counters: make(map[string]int64),
 		stages:   make(map[string]stage),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -84,6 +118,40 @@ func (r *Recorder) Observe(name string, d time.Duration) {
 	s.total += d
 	s.runs++
 	r.stages[name] = s
+	r.mu.Unlock()
+}
+
+// ObserveDur records one latency sample into the named histogram. Safe on
+// a nil recorder.
+func (r *Recorder) ObserveDur(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(d)
+	r.mu.Unlock()
+}
+
+// MergeHistogram folds a locally accumulated histogram into the named
+// recorder histogram. Pipeline workers keep a private Histogram in their
+// hot loop (no lock per sample) and merge once when the pool drains.
+// Safe on a nil recorder and with a nil or empty histogram.
+func (r *Recorder) MergeHistogram(name string, h *Histogram) {
+	if r == nil || h == nil || h.count == 0 {
+		return
+	}
+	r.mu.Lock()
+	dst := r.hists[name]
+	if dst == nil {
+		dst = &Histogram{}
+		r.hists[name] = dst
+	}
+	dst.Merge(h)
 	r.mu.Unlock()
 }
 
@@ -123,11 +191,14 @@ type StageTiming struct {
 	Runs  int64
 }
 
-// Snapshot is a point-in-time copy of a recorder, ordered by name so that
-// rendering is deterministic.
+// Snapshot is a point-in-time copy of a recorder, ordered deterministically
+// (counters, stages, and histograms by name; spans by start offset then id)
+// so that rendering and export are stable.
 type Snapshot struct {
-	Counters []CounterValue
-	Stages   []StageTiming
+	Counters   []CounterValue
+	Stages     []StageTiming
+	Histograms []HistogramData
+	Spans      []SpanData
 }
 
 // Snapshot copies the recorder's current state. Safe on a nil recorder
@@ -145,29 +216,73 @@ func (r *Recorder) Snapshot() Snapshot {
 	for name, st := range r.stages {
 		s.Stages = append(s.Stages, StageTiming{Name: name, Total: st.total, Runs: st.runs})
 	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.data(name))
+	}
+	s.Spans = append(s.Spans, r.spans...)
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Spans, func(i, j int) bool {
+		if s.Spans[i].Start != s.Spans[j].Start {
+			return s.Spans[i].Start < s.Spans[j].Start
+		}
+		return s.Spans[i].ID < s.Spans[j].ID
+	})
 	return s
 }
 
+// renderPad returns the width of the name column: wide enough for the
+// longest name in the snapshot, never narrower than the historical fixed
+// width (which keeps the original goldens byte-stable).
+func (s Snapshot) renderPad() int {
+	pad := minRenderPad
+	grow := func(name string) {
+		if len(name) > pad {
+			pad = len(name)
+		}
+	}
+	for _, c := range s.Counters {
+		grow(c.Name)
+	}
+	for _, st := range s.Stages {
+		grow(st.Name)
+	}
+	for _, h := range s.Histograms {
+		grow(h.Name)
+	}
+	return pad
+}
+
 // Render formats the snapshot as the CLI's -stats block: counters first,
-// then stage timings, both sorted by name.
+// then stage timings, then latency histograms, all sorted by name. Spans
+// are export-only (JSON/trace); they would swamp the text block.
 func (s Snapshot) Render() string {
 	var b strings.Builder
+	pad := s.renderPad()
 	b.WriteString("stats:\n")
 	if len(s.Counters) > 0 {
 		b.WriteString("  counters:\n")
 		for _, c := range s.Counters {
-			fmt.Fprintf(&b, "    %-36s %d\n", c.Name, c.Value)
+			fmt.Fprintf(&b, "    %-*s %d\n", pad, c.Name, c.Value)
 		}
 	}
 	if len(s.Stages) > 0 {
 		b.WriteString("  stages:\n")
 		for _, st := range s.Stages {
-			fmt.Fprintf(&b, "    %-36s %s (%d runs)\n", st.Name, st.Total.Round(time.Microsecond), st.Runs)
+			fmt.Fprintf(&b, "    %-*s %s (%d runs)\n", pad, st.Name, st.Total.Round(time.Microsecond), st.Runs)
 		}
 	}
-	if len(s.Counters) == 0 && len(s.Stages) == 0 {
+	if len(s.Histograms) > 0 {
+		b.WriteString("  latency:\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "    %-*s n=%d p50=%s p90=%s p99=%s max=%s\n",
+				pad, h.Name, h.Count,
+				h.P50.Round(time.Microsecond), h.P90.Round(time.Microsecond),
+				h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond))
+		}
+	}
+	if len(s.Counters) == 0 && len(s.Stages) == 0 && len(s.Histograms) == 0 {
 		b.WriteString("  (empty)\n")
 	}
 	return b.String()

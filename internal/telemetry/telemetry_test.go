@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -99,5 +100,58 @@ func TestRenderGolden(t *testing.T) {
 func TestRenderEmpty(t *testing.T) {
 	if got := New().Render(); got != "stats:\n  (empty)\n" {
 		t.Fatalf("empty render = %q", got)
+	}
+}
+
+// TestRenderPadWidensForLongNames checks that a name longer than the
+// historical 36-column floor widens the name column for every row instead
+// of breaking alignment (the old fixed %-36s format left long names flush
+// against their values).
+func TestRenderPadWidensForLongNames(t *testing.T) {
+	long := "scan.a.counter.name.that.is.much.wider.than.the.36.column.floor"
+	if len(long) <= minRenderPad {
+		t.Fatalf("test name must exceed the floor (%d <= %d)", len(long), minRenderPad)
+	}
+	r := New()
+	r.Add(long, 7)
+	r.Add("short", 1)
+	r.Observe("stage", 5*time.Millisecond)
+
+	lines := strings.Split(strings.TrimRight(r.Render(), "\n"), "\n")
+	var valueCols []int
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "    ") {
+			continue
+		}
+		body := l[4:]
+		name := body[:strings.IndexByte(body, ' ')]
+		rest := body[len(name):]
+		valueCols = append(valueCols, 4+len(name)+len(rest)-len(strings.TrimLeft(rest, " ")))
+	}
+	if len(valueCols) != 3 {
+		t.Fatalf("expected 3 data rows, got %d:\n%s", len(valueCols), r.Render())
+	}
+	for _, c := range valueCols {
+		if c != valueCols[0] {
+			t.Fatalf("value columns misaligned (%v):\n%s", valueCols, r.Render())
+		}
+	}
+	if want := 4 + len(long) + 1; valueCols[0] != want {
+		t.Fatalf("value column = %d, want %d (pad from longest name)", valueCols[0], want)
+	}
+}
+
+// TestRenderLatencySection checks histograms render as a latency block
+// with the quantile summary.
+func TestRenderLatencySection(t *testing.T) {
+	r := New()
+	r.ObserveDur(HistImageScan, 2*time.Millisecond)
+	r.ObserveDur(HistImageScan, 8*time.Millisecond)
+	out := r.Render()
+	if !strings.Contains(out, "  latency:\n") {
+		t.Fatalf("no latency section:\n%s", out)
+	}
+	if !strings.Contains(out, HistImageScan) || !strings.Contains(out, "n=2 p50=") {
+		t.Fatalf("latency row malformed:\n%s", out)
 	}
 }

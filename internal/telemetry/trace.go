@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// ChromeTrace renders the snapshot's spans in the Chrome trace_event
+// format (the JSON Object Format with a traceEvents array), loadable in
+// chrome://tracing and Perfetto. Every span becomes one complete ("X")
+// event; spans are laid out on per-worker timelines: a span's lane is
+// its nearest self-or-ancestor "worker" attribute scoped under its root
+// span, so the assemble, rules, and scan pools each render as a row of
+// worker tracks. Lanes are named with thread_name metadata events.
+func (s Snapshot) ChromeTrace() ([]byte, error) {
+	type traceEvent struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat,omitempty"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Ts   int64             `json:"ts"`
+		Dur  int64             `json:"dur"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	type traceFile struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+
+	byID := make(map[int64]*SpanData, len(s.Spans))
+	for i := range s.Spans {
+		byID[s.Spans[i].ID] = &s.Spans[i]
+	}
+	// laneOf resolves a span's timeline label: walk ancestors to the root,
+	// remembering the deepest "worker" attribute on the way up.
+	laneOf := func(sp *SpanData) string {
+		worker := ""
+		cur := sp
+		for {
+			if worker == "" {
+				for _, a := range cur.Attrs {
+					if a.Key == "worker" {
+						worker = a.Value
+						break
+					}
+				}
+			}
+			parent, ok := byID[cur.Parent]
+			if cur.Parent == 0 || !ok {
+				break
+			}
+			cur = parent
+		}
+		if worker != "" {
+			return cur.Name + "/worker " + worker
+		}
+		return cur.Name
+	}
+
+	lanes := map[string]int{}
+	var laneNames []string
+	for i := range s.Spans {
+		lane := laneOf(&s.Spans[i])
+		if _, seen := lanes[lane]; !seen {
+			lanes[lane] = 0
+			laneNames = append(laneNames, lane)
+		}
+	}
+	sort.Strings(laneNames)
+	for i, name := range laneNames {
+		lanes[name] = i
+	}
+
+	var events []traceEvent
+	for _, name := range laneNames {
+		events = append(events, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  lanes[name],
+			Args: map[string]string{"name": name},
+		})
+	}
+	for i := range s.Spans {
+		sp := &s.Spans[i]
+		var args map[string]string
+		if len(sp.Attrs) > 0 {
+			args = make(map[string]string, len(sp.Attrs)+1)
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+		} else {
+			args = make(map[string]string, 1)
+		}
+		args["spanId"] = strconv.FormatInt(sp.ID, 10)
+		events = append(events, traceEvent{
+			Name: sp.Name,
+			Cat:  "encore",
+			Ph:   "X",
+			Pid:  1,
+			Tid:  lanes[laneOf(sp)],
+			Ts:   sp.Start.Microseconds(),
+			Dur:  sp.Dur.Microseconds(),
+			Args: args,
+		})
+	}
+	if events == nil {
+		events = []traceEvent{}
+	}
+	data, err := json.MarshalIndent(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encode trace: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteChromeTrace writes the Chrome trace document to a file.
+func (s Snapshot) WriteChromeTrace(path string) error {
+	data, err := s.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: write trace: %w", err)
+	}
+	return nil
+}
