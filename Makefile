@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 smoke bench bench-rules bench-scan fuzz fmt
+.PHONY: tier1 tier2 smoke bench bench-rules bench-scan bench-all fuzz fmt
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
@@ -22,7 +22,7 @@ smoke:
 	$(GO) run ./cmd/imagegen -app mysql -n 4 -seed 91 -out $(SMOKE_DIR)/targets
 	$(GO) run ./cmd/encore scan -training $(SMOKE_DIR)/training -targets $(SMOKE_DIR)/targets \
 		-stats-json $(SMOKE_DIR)/stats.json -trace-out $(SMOKE_DIR)/trace.json >/dev/null
-	grep -q '"version": 1' $(SMOKE_DIR)/stats.json
+	grep -q '"version": 2' $(SMOKE_DIR)/stats.json
 	grep -q '"traceEvents"' $(SMOKE_DIR)/trace.json
 	@echo "smoke: telemetry exporters OK"
 
@@ -44,6 +44,9 @@ bench-scan:
 	$(GO) test -run '^$$' -bench=BatchScan -benchmem -json . > BENCH_scan.json
 	@grep -o '"Output":"[^"]*"' BENCH_scan.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
+
+# Refresh every recorded benchmark file in one go.
+bench-all: bench-rules bench-scan
 
 # Short fuzz pass over each config-parser dialect (seed corpus always
 # runs as part of tier 1; this explores beyond it).

@@ -14,9 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -55,7 +54,8 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "encore:", err)
+		logger, _ := telemetry.NewLogger(os.Stderr, "text", "info")
+		logger.Error("encore failed", "command", os.Args[1], "err", err)
 		os.Exit(1)
 	}
 }
@@ -71,9 +71,12 @@ func usage() {
 
 telemetry flags (learn/check/scan):
   -stats             print pipeline counters, stage timings, and latency quantiles to stderr
-  -stats-json FILE   write the versioned JSON telemetry snapshot (counters, histograms, span tree)
-  -trace-out FILE    write a Chrome trace_event timeline of the pipeline's worker spans
-  -pprof cpu|heap    capture a runtime profile ([-pprof-out FILE], default encore-<mode>.pprof)`)
+  -stats-json FILE   write the versioned JSON telemetry snapshot (counters, histograms, span tree; - for stdout)
+  -trace-out FILE    write a Chrome trace_event timeline of the pipeline's worker spans (- for stdout)
+  -pprof cpu|heap    capture a runtime profile ([-pprof-out FILE], default encore-<mode>.pprof)
+  -serve ADDR        serve live /metrics (Prometheus), /healthz, /snapshot, /debug/pprof during the run
+  -sample-every DUR  runtime sampler cadence for the live service and snapshot (default 1s)
+  -log text|json     structured log format ([-log-level debug|info|warn|error])`)
 }
 
 func newFramework(customFile string) (*encore.Framework, error) {
@@ -86,108 +89,33 @@ func newFramework(customFile string) (*encore.Framework, error) {
 	return fw, nil
 }
 
-// obsFlags bundles the observability flags shared by learn/check/scan:
-// the -stats text block, the machine-readable exporters, and the
-// runtime/pprof hooks. (-pprof, not -profile: the knowledge-profile flags
-// already own that name.)
-type obsFlags struct {
-	stats     bool
-	statsJSON string
-	traceOut  string
-	pprofMode string
-	pprofOut  string
+// obsHooks lets the acceptance tests observe the live metrics server at
+// deterministic points of a real CLI run (listener up; pipeline complete
+// but still serving).
+var obsHooks telemetry.ServeHooks
 
-	rec       *telemetry.Recorder
-	pprofFile *os.File
-}
-
-// registerObsFlags installs the shared observability flags on a command's
-// flag set.
-func registerObsFlags(fs *flag.FlagSet) *obsFlags {
-	o := &obsFlags{}
-	fs.BoolVar(&o.stats, "stats", false, "print pipeline telemetry to stderr")
-	fs.StringVar(&o.statsJSON, "stats-json", "", "write a versioned JSON telemetry snapshot to this file")
-	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event file to this file")
-	fs.StringVar(&o.pprofMode, "pprof", "", "capture a runtime profile: cpu or heap")
-	fs.StringVar(&o.pprofOut, "pprof-out", "", "runtime profile output file (default encore-<mode>.pprof)")
+// registerObsFlags installs the shared observability flags — the -stats
+// text block, the machine-readable exporters, the runtime/pprof hooks
+// (-pprof, not -profile: the knowledge-profile flags already own that
+// name), the live -serve metrics service, and -log — on a command's flag
+// set.
+func registerObsFlags(fs *flag.FlagSet) *telemetry.Flags {
+	o := &telemetry.Flags{Hooks: obsHooks}
+	o.Register(fs)
 	return o
 }
 
-// start attaches a recorder to the framework when any telemetry sink was
-// requested and begins runtime profiling. The returned function writes
-// every requested artifact; defer it and fold its error into the
-// command's.
-func (o *obsFlags) start(fw *encore.Framework) (finish func() error, err error) {
-	if o.stats || o.statsJSON != "" || o.traceOut != "" {
-		o.rec = telemetry.New()
-		fw.SetTelemetry(o.rec)
+// startObs wires the observability sinks and threads the recorder and
+// structured logger through the framework. The returned function flushes
+// every requested artifact and stops the live service; defer it and fold
+// its error into the command's.
+func startObs(o *telemetry.Flags, fw *encore.Framework, phase string) (finish func() error, err error) {
+	if err := o.Start(phase); err != nil {
+		return nil, err
 	}
-	switch o.pprofMode {
-	case "", "heap":
-	case "cpu":
-		f, err := os.Create(o.pprofPath())
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-		o.pprofFile = f
-	default:
-		return nil, fmt.Errorf("-pprof must be cpu or heap, got %q", o.pprofMode)
-	}
-	return o.finish, nil
-}
-
-func (o *obsFlags) pprofPath() string {
-	if o.pprofOut != "" {
-		return o.pprofOut
-	}
-	return "encore-" + o.pprofMode + ".pprof"
-}
-
-func (o *obsFlags) finish() error {
-	if o.pprofFile != nil {
-		pprof.StopCPUProfile()
-		if err := o.pprofFile.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote cpu profile -> %s\n", o.pprofPath())
-	}
-	if o.pprofMode == "heap" {
-		f, err := os.Create(o.pprofPath())
-		if err != nil {
-			return err
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote heap profile -> %s\n", o.pprofPath())
-	}
-	if o.rec == nil {
-		return nil
-	}
-	snap := o.rec.Snapshot()
-	if o.stats {
-		fmt.Fprint(os.Stderr, snap.Render())
-	}
-	if o.statsJSON != "" {
-		if err := snap.WriteJSON(o.statsJSON); err != nil {
-			return err
-		}
-	}
-	if o.traceOut != "" {
-		if err := snap.WriteChromeTrace(o.traceOut); err != nil {
-			return err
-		}
-	}
-	return nil
+	fw.SetTelemetry(o.Rec)
+	fw.SetLogger(o.Log)
+	return o.Finish, nil
 }
 
 func learn(fw *encore.Framework, trainingDir string) (*encore.Knowledge, error) {
@@ -215,7 +143,7 @@ func runLearn(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	finish, err := obs.start(fw)
+	finish, err := startObs(obs, fw, "learn")
 	if err != nil {
 		return err
 	}
@@ -276,7 +204,7 @@ func runCheck(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	finish, err := obs.start(fw)
+	finish, err := startObs(obs, fw, "check")
 	if err != nil {
 		return err
 	}
@@ -307,7 +235,7 @@ func runCheck(args []string) (err error) {
 		}
 		start := time.Now()
 		report, err = fw.CheckWithProfile(p, img)
-		obs.rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
+		obs.Rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
 		if err != nil {
 			return err
 		}
@@ -319,7 +247,7 @@ func runCheck(args []string) (err error) {
 		}
 		start := time.Now()
 		report, err = fw.Check(k, img)
-		obs.rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
+		obs.Rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
 		if err != nil {
 			return err
 		}
@@ -375,7 +303,7 @@ func runScan(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	finish, err := obs.start(fw)
+	finish, err := startObs(obs, fw, "scan")
 	if err != nil {
 		return err
 	}
@@ -404,15 +332,23 @@ func runScan(args []string) (err error) {
 	}
 	eng.Strict = *strict
 	eng.Workers = *workers
-	if *progress {
+	eng.Log = obs.Log
+	if *progress || obs.Serving() {
 		// The reporter needs the batch size up front; count the target
-		// files the same way ScanDir will.
+		// files the same way ScanDir will. A live -serve run gets a silent
+		// reporter even without -progress, so the runtime sampler can
+		// expose encore_progress_done/_total on /metrics.
 		total, err := countTargets(*targets)
 		if err != nil {
 			return err
 		}
-		p := telemetry.NewProgress(os.Stderr, "scan", total, *progressEvery)
+		w := io.Writer(os.Stderr)
+		if !*progress {
+			w = io.Discard
+		}
+		p := telemetry.NewProgress(w, "scan", total, *progressEvery)
 		eng.Progress = p
+		obs.SetProgress(p)
 		defer p.Stop()
 	}
 

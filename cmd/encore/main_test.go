@@ -3,13 +3,16 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/corpus"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 )
 
 func fixture(t *testing.T) (trainingDir, targetFile string) {
@@ -236,8 +239,8 @@ func TestRunScanObservabilityExports(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("stats JSON does not parse: %v", err)
 	}
-	if snap.Version != 1 {
-		t.Fatalf("snapshot version = %d, want 1", snap.Version)
+	if snap.Version != 2 {
+		t.Fatalf("snapshot version = %d, want 2", snap.Version)
 	}
 	found := false
 	for _, h := range snap.Histograms {
@@ -283,6 +286,217 @@ func TestRunScanObservabilityExports(t *testing.T) {
 	}
 	if !batchEvent {
 		t.Fatalf("no scan.batch complete event in trace: %s", traceData)
+	}
+}
+
+// fetchURL GETs a live-service endpoint during an acceptance test.
+func fetchURL(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// promValue extracts the sample value of a label-less metric from an
+// exposition document (-1 when absent).
+func promValue(text, name string) int64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return -1
+			}
+			return n
+		}
+	}
+	return -1
+}
+
+// TestRunScanServeLiveMetrics is the acceptance-criterion test for the
+// live metrics service: a real `encore scan -serve :0` run is probed over
+// HTTP at two deterministic points — listener-up (/healthz reports the
+// scan phase) and pipeline-complete-but-still-serving (/metrics) — and the
+// fetched exposition must be well-formed, report a non-zero
+// encore_scan_images_total, keep its histogram bucket series cumulative,
+// and agree exactly with the -stats-json snapshot written for the same
+// run.
+func TestRunScanServeLiveMetrics(t *testing.T) {
+	training, _ := fixture(t)
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 5, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+
+	var health, metrics string
+	obsHooks = telemetry.ServeHooks{
+		OnServe: func(srv *telemetry.Server) {
+			health = fetchURL(t, "http://"+srv.Addr()+"/healthz")
+		},
+		BeforeShutdown: func(srv *telemetry.Server) {
+			metrics = fetchURL(t, "http://"+srv.Addr()+"/metrics")
+		},
+	}
+	defer func() { obsHooks = telemetry.ServeHooks{} }()
+
+	statsOut := filepath.Join(t.TempDir(), "stats.json")
+	err = runScan([]string{
+		"-training", training, "-targets", targets,
+		"-serve", "127.0.0.1:0", "-stats-json", statsOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var h struct {
+		Status string `json:"status"`
+		Phase  string `json:"phase"`
+	}
+	if err := json.Unmarshal([]byte(health), &h); err != nil {
+		t.Fatalf("/healthz does not parse: %v: %q", err, health)
+	}
+	if h.Status != "ok" || h.Phase != "scan" {
+		t.Fatalf("/healthz at startup = %+v, want status ok in phase scan", h)
+	}
+
+	scanned := promValue(metrics, "encore_scan_images_total")
+	if scanned != 5 {
+		t.Fatalf("encore_scan_images_total = %d, want 5\n%s", scanned, metrics)
+	}
+	if !strings.Contains(metrics, `encore_phase{phase="done"} 1`) {
+		t.Fatalf("/metrics after the run missing the done phase:\n%s", metrics)
+	}
+	if promValue(metrics, "encore_goroutines") <= 0 || promValue(metrics, "encore_heap_bytes") <= 0 {
+		t.Fatalf("/metrics missing runtime sampler gauges:\n%s", metrics)
+	}
+	if promValue(metrics, "encore_progress_done") != 5 || promValue(metrics, "encore_progress_total") != 5 {
+		t.Fatalf("/metrics progress gauges wrong:\n%s", metrics)
+	}
+
+	// Bucket series must be cumulative within each histogram family.
+	var prev int64
+	var inBuckets string
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.Contains(line, "_bucket{le=") {
+			continue
+		}
+		family := line[:strings.Index(line, "{")]
+		n, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if family == inBuckets && n < prev {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		inBuckets, prev = family, n
+	}
+
+	// The live exposition fetched before shutdown and the exported JSON
+	// snapshot describe the same completed run: counters must agree.
+	data, err := os.ReadFile(statsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Version  int    `json:"version"`
+		Phase    string `json:"phase"`
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Runtime *struct {
+			Samples []struct {
+				HeapBytes uint64 `json:"heapBytes"`
+			} `json:"samples"`
+		} `json:"runtime"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 || snap.Phase != "done" {
+		t.Fatalf("snapshot version/phase = %d/%q, want 2/done", snap.Version, snap.Phase)
+	}
+	if snap.Runtime == nil || len(snap.Runtime.Samples) == 0 {
+		t.Fatal("snapshot lost the runtime sampler section")
+	}
+	counterNames := map[string]string{
+		"scan.images.scanned":   "encore_scan_images_total",
+		"scan.findings.emitted": "encore_scan_findings_total",
+	}
+	for _, c := range snap.Counters {
+		prom, ok := counterNames[c.Name]
+		if !ok {
+			continue
+		}
+		if got := promValue(metrics, prom); got != c.Value {
+			t.Fatalf("%s: live exposition says %d, exported snapshot says %d", prom, got, c.Value)
+		}
+	}
+}
+
+// TestRunScanStatsJSONStdout checks `-stats-json -` streams the snapshot
+// to stdout instead of creating a file named "-".
+func TestRunScanStatsJSONStdout(t *testing.T) {
+	training, _ := fixture(t)
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outCh <- data
+	}()
+	runErr := runScan([]string{"-training", training, "-targets", targets, "-stats-json", "-"})
+	w.Close()
+	os.Stdout = old
+	out := string(<-outCh)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	idx := strings.Index(out, "{\n  \"version\"")
+	if idx < 0 {
+		t.Fatalf("no snapshot document on stdout:\n%s", out)
+	}
+	var snap struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &snap); err != nil {
+		t.Fatalf("stdout snapshot does not parse: %v", err)
+	}
+	if snap.Version != 2 {
+		t.Fatalf("stdout snapshot version = %d, want 2", snap.Version)
+	}
+	if _, err := os.Stat(filepath.Join(wd, "-")); !os.IsNotExist(err) {
+		t.Fatalf(`a file named "-" was created (stat err: %v)`, err)
 	}
 }
 

@@ -22,53 +22,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	budget := flag.Int("budget", eval.Table3Budget, "frequent-item-set budget for Table 3 (simulated OOM)")
 	ext := flag.Bool("ext", false, "also run the extension studies (env-error injection, LAMP cross-component)")
-	stats := flag.Bool("stats", false, "print pipeline telemetry to stderr")
-	statsJSON := flag.String("stats-json", "", "write a versioned JSON telemetry snapshot to this file")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event file to this file")
+	obs := &telemetry.Flags{}
+	obs.Register(flag.CommandLine)
 	flag.Parse()
 
-	var rec *telemetry.Recorder
-	if *stats || *statsJSON != "" || *traceOut != "" {
-		rec = telemetry.New()
-		eval.SetTelemetry(rec)
+	if err := obs.Start("evaluate"); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+	if obs.Rec != nil {
+		eval.SetTelemetry(obs.Rec)
+	}
+	fail := func(err error) {
+		obs.Log.Error("evaluate failed", "err", err)
+		obs.Finish()
+		os.Exit(1)
 	}
 
 	if err := run(*table, *seed, *budget); err != nil {
-		fmt.Fprintln(os.Stderr, "evaluate:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *ext || *table == 0 {
 		if err := runExtensions(*seed); err != nil {
-			fmt.Fprintln(os.Stderr, "evaluate:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
-	if err := exportTelemetry(rec, *stats, *statsJSON, *traceOut); err != nil {
+	if err := obs.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
-}
-
-// exportTelemetry flushes the recorder to every requested sink.
-func exportTelemetry(rec *telemetry.Recorder, stats bool, statsJSON, traceOut string) error {
-	if rec == nil {
-		return nil
-	}
-	snap := rec.Snapshot()
-	if stats {
-		fmt.Fprint(os.Stderr, snap.Render())
-	}
-	if statsJSON != "" {
-		if err := snap.WriteJSON(statsJSON); err != nil {
-			return err
-		}
-	}
-	if traceOut != "" {
-		if err := snap.WriteChromeTrace(traceOut); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func runExtensions(seed int64) error {

@@ -27,6 +27,7 @@ package encore
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/advise"
@@ -205,6 +206,14 @@ func (f *Framework) SetTelemetry(rec *telemetry.Recorder) {
 	f.Engine.Telemetry = rec
 }
 
+// SetLogger threads one structured logger through the assembler and the
+// rule engine (scan engines built afterwards inherit it). Pass nil to
+// silence pipeline logging again.
+func (f *Framework) SetLogger(log *slog.Logger) {
+	f.Assembler.Log = log
+	f.Engine.Log = log
+}
+
 // ScanEngine returns a batch scan engine that checks targets against
 // learned knowledge with per-image fault isolation (see internal/scan).
 // The engine inherits the assembler's telemetry recorder.
@@ -212,6 +221,7 @@ func (f *Framework) ScanEngine(k *Knowledge) *scan.Engine {
 	return &scan.Engine{
 		Check:     func(img *sysimage.Image) (*detect.Report, error) { return f.Check(k, img) },
 		Telemetry: f.Assembler.Telemetry,
+		Log:       f.Assembler.Log,
 	}
 }
 
@@ -221,6 +231,7 @@ func (f *Framework) ScanEngineWithProfile(p *profile.Profile) *scan.Engine {
 	return &scan.Engine{
 		Check:     func(img *sysimage.Image) (*detect.Report, error) { return f.CheckWithProfile(p, img) },
 		Telemetry: f.Assembler.Telemetry,
+		Log:       f.Assembler.Log,
 	}
 }
 

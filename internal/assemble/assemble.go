@@ -11,6 +11,7 @@ package assemble
 
 import (
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 
@@ -55,6 +56,10 @@ type Assembler struct {
 	// Telemetry, when set, receives stage timings and counters for every
 	// assembly run. Nil disables instrumentation.
 	Telemetry *telemetry.Recorder
+	// Log, when set, receives structured records for assembly failures
+	// (parse errors at warn, correlated with their assemble.image span).
+	// Nil silences assembler logging.
+	Log *slog.Logger
 }
 
 // New returns an assembler with the default inferencer, the default

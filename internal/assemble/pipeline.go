@@ -73,6 +73,7 @@ func (a *Assembler) parseImages(images []*sysimage.Image) ([]parsedImage, error)
 		pi, err := parseOne(img)
 		a.Telemetry.ObserveDur(telemetry.HistImageParse, time.Since(start))
 		if err != nil {
+			telemetry.LoggerOr(a.Log).Warn("image parse failed", "image", img.ID, "err", err)
 			return nil, err
 		}
 		parsed = append(parsed, pi)
@@ -142,6 +143,9 @@ func (a *Assembler) parseImagesParallel(images []*sysimage.Image, workers int, p
 		parsed[i], errs[i] = parseOne(images[i])
 		a.Telemetry.ObserveDur(telemetry.HistImageParse, time.Since(start))
 		sp.End()
+		if errs[i] != nil {
+			sp.Logger(a.Log).Warn("image parse failed", "image", images[i].ID, "err", errs[i])
+		}
 	})
 	for _, err := range errs {
 		if err != nil {

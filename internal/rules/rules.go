@@ -21,6 +21,7 @@ package rules
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"reflect"
 	"runtime"
@@ -118,6 +119,11 @@ type Engine struct {
 	// Telemetry, when set, receives the inference stage timing and the
 	// candidate-validation counters. Nil disables instrumentation.
 	Telemetry *telemetry.Recorder
+
+	// Log, when set, receives a structured summary record per inference
+	// run (candidate and survivor counts, correlated with the rules.infer
+	// span). Nil silences engine logging.
+	Log *slog.Logger
 
 	// ctxMu guards the memoized per-row evaluation contexts, shared
 	// across Infer/InferSerial runs over the same dataset and image map
@@ -255,6 +261,9 @@ func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []
 	e.Telemetry.Add(telemetry.CounterRulesKept, int64(total.stats.Kept))
 	e.Telemetry.Add(telemetry.CounterRulesPrunedSupport, total.prunedSupport)
 	e.Telemetry.Add(telemetry.CounterRulesPrunedEntropy, int64(total.stats.EntropyRejected))
+	root.Logger(e.Log).Debug("rule inference done",
+		"candidates", candidates, "kept", total.stats.Kept,
+		"pruned_support", total.prunedSupport, "pruned_entropy", total.stats.EntropyRejected)
 	rules := total.rules
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
 	return rules

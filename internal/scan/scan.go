@@ -16,6 +16,7 @@ package scan
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -52,6 +53,10 @@ type Engine struct {
 	// image's finding count — the periodic stderr reporter for long
 	// batches. The engine does not stop it; the caller owns its lifecycle.
 	Progress *telemetry.Progress
+	// Log, when set, receives structured per-image records (failures at
+	// warn, completions at debug), each correlated with its scan.image
+	// span. Nil silences engine logging.
+	Log *slog.Logger
 }
 
 // ScanError is the per-image failure record of a non-strict batch scan.
@@ -256,15 +261,26 @@ func (e *Engine) run(tasks []task) (*Result, error) {
 				sp := ws.StartChild("scan.image", telemetry.A("task", taskName(tasks[i])))
 				start := time.Now()
 				items[i] = e.runOne(tasks[i])
-				e.Telemetry.ObserveDur(telemetry.HistImageScan, time.Since(start))
+				elapsed := time.Since(start)
+				e.Telemetry.ObserveDur(telemetry.HistImageScan, elapsed)
 				if items[i].ImageID != "" {
 					sp.SetAttr("image", items[i].ImageID)
 				}
 				sp.End()
+				// Counters advance per finished image — not once at batch
+				// end — so a live /metrics scrape sees the batch move.
+				e.Telemetry.Add(telemetry.CounterImagesScanned, 1)
 				if items[i].Err == nil {
-					e.Progress.Step(len(items[i].Report.Warnings))
+					warnings := len(items[i].Report.Warnings)
+					e.Telemetry.Add(telemetry.CounterFindingsEmitted, int64(warnings))
+					e.Progress.Step(warnings)
+					sp.Logger(e.Log).Debug("image scanned",
+						"image", items[i].ImageID, "warnings", warnings, "elapsed", elapsed)
 				} else {
+					e.Telemetry.Add(telemetry.CounterScanErrors, 1)
 					e.Progress.Step(0)
+					sp.Logger(e.Log).Warn("image scan failed",
+						"image", items[i].Err.ImageID, "path", items[i].Err.Path, "err", items[i].Err.Err)
 				}
 				if e.Strict && items[i].Err != nil {
 					aborted.Store(true)
@@ -278,26 +294,14 @@ func (e *Engine) run(tasks []task) (*Result, error) {
 	close(next)
 	wg.Wait()
 
-	e.Telemetry.Add(telemetry.CounterImagesScanned, int64(len(tasks)))
 	if e.Strict {
 		for _, it := range items {
 			if it.Err != nil {
-				e.Telemetry.Add(telemetry.CounterScanErrors, 1)
 				return nil, it.Err
 			}
 		}
 	}
-	res := &Result{Items: items}
-	var findings int64
-	for _, it := range items {
-		if it.Err != nil {
-			e.Telemetry.Add(telemetry.CounterScanErrors, 1)
-			continue
-		}
-		findings += int64(len(it.Report.Warnings))
-	}
-	e.Telemetry.Add(telemetry.CounterFindingsEmitted, findings)
-	return res, nil
+	return &Result{Items: items}, nil
 }
 
 // runOne loads (if needed) and checks one image, converting any failure

@@ -1,0 +1,216 @@
+// Shared observability bootstrap for the CLIs. Both cmd/encore and
+// cmd/evaluate register the same flag surface — the -stats text block, the
+// machine-readable exporters, runtime/pprof capture, structured logging,
+// and the live metrics service — through one Flags value, so every
+// pipeline entry point exposes identical observability.
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// ServeHooks are optional callbacks around the live metrics server's
+// lifecycle, used by acceptance tests to fetch endpoints at
+// deterministic points of a real CLI run.
+type ServeHooks struct {
+	// OnServe runs once the listener is up, before the pipeline starts.
+	OnServe func(*Server)
+	// BeforeShutdown runs after the pipeline finished and every requested
+	// artifact was written, while the server is still serving — the last
+	// moment a live /metrics fetch reflects the complete run.
+	BeforeShutdown func(*Server)
+}
+
+// Flags bundles the observability flags shared by the encore subcommands
+// and cmd/evaluate: Register installs them on a flag set, Start wires the
+// requested sinks (recorder, logger, sampler, metrics server, pprof), and
+// Finish flushes every artifact and tears the service down with zero
+// leaked goroutines.
+type Flags struct {
+	Stats       bool
+	StatsJSON   string
+	TraceOut    string
+	PprofMode   string
+	PprofOut    string
+	Serve       string
+	SampleEvery time.Duration
+	LogFormat   string
+	LogLevel    string
+
+	// Hooks is consulted around the metrics server lifecycle (tests).
+	Hooks ServeHooks
+
+	// Rec is the recorder Start attached (nil when no telemetry sink was
+	// requested — every Recorder method is nil-safe).
+	Rec *Recorder
+	// Log is the structured logger Start built; never nil after Start.
+	Log *slog.Logger
+
+	sampler   *Sampler
+	server    *Server
+	pprofFile *os.File
+}
+
+// Register installs the shared observability flags on a command's flag
+// set.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Stats, "stats", false, "print pipeline telemetry to stderr")
+	fs.StringVar(&f.StatsJSON, "stats-json", "", "write the versioned JSON telemetry snapshot to this file (- for stdout)")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event file to this file (- for stdout)")
+	fs.StringVar(&f.PprofMode, "pprof", "", "capture a runtime profile: cpu or heap")
+	fs.StringVar(&f.PprofOut, "pprof-out", "", "runtime profile output file (default encore-<mode>.pprof)")
+	fs.StringVar(&f.Serve, "serve", "", "serve live /metrics, /healthz, /snapshot, and /debug/pprof on this address while the run is in flight (e.g. :9464)")
+	fs.DurationVar(&f.SampleEvery, "sample-every", DefaultSampleInterval, "runtime sampler cadence (heap, GC, goroutines, batch progress)")
+	fs.StringVar(&f.LogFormat, "log", "text", "structured log format: "+LogFormats)
+	fs.StringVar(&f.LogLevel, "log-level", "info", "structured log level: debug|info|warn|error")
+}
+
+// Serving reports whether the live metrics service was requested.
+func (f *Flags) Serving() bool { return f.Serve != "" }
+
+// Start builds the logger, attaches a recorder when any telemetry sink
+// was requested, starts the runtime sampler and the live metrics server,
+// and begins runtime profiling. phase seeds the recorder's phase (the
+// subcommand name; pipeline stages overwrite it as they run). The
+// returned error leaves nothing running.
+func (f *Flags) Start(phase string) error {
+	log, err := NewLogger(os.Stderr, f.LogFormat, f.LogLevel)
+	if err != nil {
+		return err
+	}
+	f.Log = log
+	if f.Stats || f.StatsJSON != "" || f.TraceOut != "" || f.Serving() {
+		f.Rec = New()
+		f.Rec.SetPhase(phase)
+		f.sampler = NewSampler(f.SampleEvery, 0)
+		f.Rec.AttachSampler(f.sampler)
+		f.sampler.Start()
+	}
+	if f.Serving() {
+		srv, err := NewServer(f.Serve, f.Rec)
+		if err != nil {
+			f.sampler.Stop()
+			return err
+		}
+		f.server = srv
+		f.Log.Info("metrics service listening",
+			"addr", srv.Addr(), "endpoints", "/metrics /healthz /snapshot /debug/pprof")
+		if f.Hooks.OnServe != nil {
+			f.Hooks.OnServe(srv)
+		}
+	}
+	switch f.PprofMode {
+	case "", "heap":
+	case "cpu":
+		file, err := os.Create(f.pprofPath())
+		if err != nil {
+			f.shutdownServe()
+			return err
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			f.shutdownServe()
+			return err
+		}
+		f.pprofFile = file
+	default:
+		f.shutdownServe()
+		return fmt.Errorf("-pprof must be cpu or heap, got %q", f.PprofMode)
+	}
+	return nil
+}
+
+// SetProgress folds a batch progress reporter into the runtime sampler,
+// so /metrics exposes encore_progress_done/_total while the batch runs.
+func (f *Flags) SetProgress(p *Progress) {
+	f.sampler.SetProgress(p)
+}
+
+func (f *Flags) pprofPath() string {
+	if f.PprofOut != "" {
+		return f.PprofOut
+	}
+	return "encore-" + f.PprofMode + ".pprof"
+}
+
+// shutdownServe tears down the sampler and server (error-path cleanup).
+func (f *Flags) shutdownServe() {
+	f.sampler.Stop()
+	f.server.Close()
+}
+
+// Finish writes every requested artifact — pprof profiles, the -stats
+// text block, the JSON snapshot, the Chrome trace — then stops the
+// sampler and shuts the metrics server down. Defer it after Start
+// succeeds and fold its error into the command's.
+func (f *Flags) Finish() error {
+	if f.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.pprofFile.Close(); err != nil {
+			f.shutdownServe()
+			return err
+		}
+		f.Log.Info("wrote cpu profile", "path", f.pprofPath())
+	}
+	if f.PprofMode == "heap" {
+		if err := f.writeHeapProfile(); err != nil {
+			f.shutdownServe()
+			return err
+		}
+	}
+	// Final sample first, so the exported snapshot's runtime section ends
+	// with a fresh reading; then mark the run complete.
+	f.sampler.Stop()
+	f.Rec.SetPhase("done")
+	if f.Rec != nil {
+		snap := f.Rec.Snapshot()
+		if f.Stats {
+			fmt.Fprint(os.Stderr, snap.Render())
+		}
+		if f.StatsJSON != "" {
+			if err := snap.WriteJSON(f.StatsJSON); err != nil {
+				f.server.Close()
+				return err
+			}
+		}
+		if f.TraceOut != "" {
+			if err := snap.WriteChromeTrace(f.TraceOut); err != nil {
+				f.server.Close()
+				return err
+			}
+		}
+	}
+	if f.server != nil {
+		if f.Hooks.BeforeShutdown != nil {
+			f.Hooks.BeforeShutdown(f.server)
+		}
+		if err := f.server.Close(); err != nil {
+			return err
+		}
+		f.Log.Info("metrics service stopped", "addr", f.server.Addr())
+	}
+	return nil
+}
+
+func (f *Flags) writeHeapProfile() error {
+	file, err := os.Create(f.pprofPath())
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Close(); err != nil {
+		return err
+	}
+	f.Log.Info("wrote heap profile", "path", f.pprofPath())
+	return nil
+}

@@ -10,19 +10,41 @@ import (
 
 // SnapshotVersion is the schema version stamped into every exported JSON
 // snapshot. Bump it when a field changes meaning or disappears; adding
-// fields is backward-compatible and does not require a bump.
-const SnapshotVersion = 1
+// fields is backward-compatible and does not require a bump. Version 2
+// added the top-level "phase" string and "runtime" sampler section; every
+// v1 field kept its exact meaning and encoding (the v1-compat test locks
+// that).
+const SnapshotVersion = 2
 
 // The export structs fix the JSON field order (encoding/json emits struct
 // fields in declaration order) and flatten Durations to integral
 // microseconds, so snapshots diff cleanly and golden tests hold.
 
 type exportFile struct {
-	Version    int           `json:"version"`
-	Counters   []exportCount `json:"counters"`
-	Stages     []exportStage `json:"stages"`
-	Histograms []exportHist  `json:"histograms"`
-	Spans      []exportSpan  `json:"spans"`
+	Version    int            `json:"version"`
+	Phase      string         `json:"phase"`
+	Counters   []exportCount  `json:"counters"`
+	Stages     []exportStage  `json:"stages"`
+	Histograms []exportHist   `json:"histograms"`
+	Runtime    *exportRuntime `json:"runtime,omitempty"`
+	Spans      []exportSpan   `json:"spans"`
+}
+
+// exportRuntime is the Sampler's ring-buffer timeseries: process-health
+// samples at a fixed cadence, oldest first.
+type exportRuntime struct {
+	SampleEveryMicros int64                 `json:"sampleEveryMicros"`
+	Samples           []exportRuntimeSample `json:"samples"`
+}
+
+type exportRuntimeSample struct {
+	AtMicros      int64  `json:"atMicros"`
+	HeapBytes     uint64 `json:"heapBytes"`
+	GCPauseMicros int64  `json:"gcPauseMicros"`
+	GCCycles      uint32 `json:"gcCycles"`
+	Goroutines    int    `json:"goroutines"`
+	ProgressDone  int64  `json:"progressDone"`
+	ProgressTotal int64  `json:"progressTotal"`
 }
 
 type exportCount struct {
@@ -72,10 +94,29 @@ type exportSpan struct {
 func (s Snapshot) JSON() ([]byte, error) {
 	f := exportFile{
 		Version:    SnapshotVersion,
+		Phase:      s.Phase,
 		Counters:   []exportCount{},
 		Stages:     []exportStage{},
 		Histograms: []exportHist{},
 		Spans:      []exportSpan{},
+	}
+	if s.SampleEvery > 0 || len(s.Runtime) > 0 {
+		rt := &exportRuntime{
+			SampleEveryMicros: s.SampleEvery.Microseconds(),
+			Samples:           []exportRuntimeSample{},
+		}
+		for _, smp := range s.Runtime {
+			rt.Samples = append(rt.Samples, exportRuntimeSample{
+				AtMicros:      smp.At.Microseconds(),
+				HeapBytes:     smp.HeapBytes,
+				GCPauseMicros: smp.GCPauseTotal.Microseconds(),
+				GCCycles:      smp.GCCycles,
+				Goroutines:    smp.Goroutines,
+				ProgressDone:  smp.ProgressDone,
+				ProgressTotal: smp.ProgressTotal,
+			})
+		}
+		f.Runtime = rt
 	}
 	for _, c := range s.Counters {
 		f.Counters = append(f.Counters, exportCount{Name: c.Name, Value: c.Value})
@@ -121,24 +162,38 @@ func (s Snapshot) JSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// WriteJSON writes the snapshot document to a file.
+// writeArtifact writes an exported document to a file, or to stdout when
+// path is "-" (the conventional stdout sentinel; no file named "-" is ever
+// created).
+func writeArtifact(path string, data []byte, what string) error {
+	if path == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return fmt.Errorf("telemetry: write %s to stdout: %w", what, err)
+		}
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: write %s: %w", what, err)
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot document to a file ("-" for stdout).
 func (s Snapshot) WriteJSON(path string) error {
 	data, err := s.JSON()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("telemetry: write snapshot: %w", err)
-	}
-	return nil
+	return writeArtifact(path, data, "snapshot")
 }
 
 // NormalizeTimes returns a copy of the snapshot with every span rewritten
 // onto a synthetic clock — span i (in the snapshot's deterministic order)
-// starts at i*step and lasts step — and every stage total zeroed. Counter
-// values, histogram contents, span names/ids/attrs, and the tree shape are
-// preserved. Golden tests use this to strip the only nondeterministic
-// inputs (wall-clock readings) from exported documents.
+// starts at i*step and lasts step — every stage total zeroed, and every
+// runtime sample's offset rewritten to i*step. Counter values, histogram
+// contents, span names/ids/attrs, the tree shape, and the sampled gauge
+// values are preserved. Golden tests use this to strip the only
+// nondeterministic inputs (wall-clock readings) from exported documents.
 func (s Snapshot) NormalizeTimes(step time.Duration) Snapshot {
 	out := s
 	out.Stages = append([]StageTiming(nil), s.Stages...)
@@ -150,6 +205,10 @@ func (s Snapshot) NormalizeTimes(step time.Duration) Snapshot {
 	for i := range out.Spans {
 		out.Spans[i].Start = time.Duration(i) * step
 		out.Spans[i].Dur = step
+	}
+	out.Runtime = append([]RuntimeSample(nil), s.Runtime...)
+	for i := range out.Runtime {
+		out.Runtime[i].At = time.Duration(i) * step
 	}
 	return out
 }

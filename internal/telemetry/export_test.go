@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -38,7 +39,16 @@ func exportFixture() Snapshot {
 	w0.End()
 	root.SetAttr("errors", "0")
 	root.End()
-	return r.Snapshot().NormalizeTimes(1000 * time.Microsecond)
+	r.SetPhase("done")
+	s := r.Snapshot()
+	// Hand-built runtime samples: the real sampler reads live MemStats,
+	// which would leak nondeterminism into the golden bytes.
+	s.SampleEvery = 250 * time.Millisecond
+	s.Runtime = []RuntimeSample{
+		{HeapBytes: 1 << 20, GCPauseTotal: 120 * time.Microsecond, GCCycles: 1, Goroutines: 8, ProgressDone: 1, ProgressTotal: 4},
+		{HeapBytes: 3 << 20, GCPauseTotal: 260 * time.Microsecond, GCCycles: 2, Goroutines: 10, ProgressDone: 4, ProgressTotal: 4},
+	}
+	return s.NormalizeTimes(1000 * time.Microsecond)
 }
 
 func checkGolden(t *testing.T, got []byte, name string) {
@@ -111,6 +121,37 @@ func TestSnapshotJSONGolden(t *testing.T) {
 	}
 	if len(doc.Spans) != 5 {
 		t.Fatalf("spans = %d, want 5", len(doc.Spans))
+	}
+}
+
+// TestSnapshotV1Compat proves the v2 document is a strict superset of v1:
+// every field a v1 consumer reads keeps its exact meaning and encoding.
+// testdata/snapshot.v1.golden.json is the last v1 export of this same
+// fixture, frozen when the version was bumped.
+func TestSnapshotV1Compat(t *testing.T) {
+	type v1Doc struct {
+		Counters   []exportCount `json:"counters"`
+		Stages     []exportStage `json:"stages"`
+		Histograms []exportHist  `json:"histograms"`
+		Spans      []exportSpan  `json:"spans"`
+	}
+	old, err := os.ReadFile(filepath.Join("testdata", "snapshot.v1.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := exportFixture().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got v1Doc
+	if err := json.Unmarshal(old, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(cur, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 view of the v2 document diverged\ngot:  %+v\nwant: %+v", got, want)
 	}
 }
 

@@ -1,0 +1,99 @@
+// Structured leveled logging for the pipelines, built on log/slog. Two
+// handler formats back the CLI's -log flag: "text" (logfmt-style key=value
+// with the time attribute dropped, so CLI output is stable and diffable)
+// and "json" (one JSON object per line, timestamped, for log shippers).
+// Spans correlate log lines with the trace: Span.Logger derives a logger
+// that stamps every record with the span id and the span's attributes
+// (image, worker, app, ...), so a log line can be joined against the
+// exported span tree or the Chrome trace timeline.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFormats lists the accepted -log values.
+const LogFormats = "text|json"
+
+// NewLogger builds a leveled structured logger writing to w.
+// format is "text" (default when empty) or "json"; level names are
+// "debug", "info" (default when empty), "warn", and "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	switch strings.ToLower(format) {
+	case "", "text":
+		h := slog.NewTextHandler(w, &slog.HandlerOptions{
+			Level: lv,
+			ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+				// CLI text output stays deterministic and greppable
+				// without per-line wall-clock timestamps.
+				if len(groups) == 0 && a.Key == slog.TimeKey {
+					return slog.Attr{}
+				}
+				return a
+			},
+		})
+		return slog.New(h), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv})), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want %s)", format, LogFormats)
+	}
+}
+
+// discardHandler drops every record; it backs NopLogger.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards everything — the default for
+// pipeline Log fields left unset, so instrumented code can log
+// unconditionally.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// LoggerOr returns l, or the discarding logger when l is nil. Pipeline
+// code calls it once per batch instead of nil-checking per record.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}
+
+// Logger derives a span-correlated logger from base: every record carries
+// span=<id> plus the span's attributes as fields. Safe on a nil span
+// (returns base, or the discarding logger when base is also nil) and with
+// a nil base.
+func (s *Span) Logger(base *slog.Logger) *slog.Logger {
+	base = LoggerOr(base)
+	if s == nil {
+		return base
+	}
+	args := make([]any, 0, 2+2*len(s.attrs))
+	args = append(args, "span", s.id)
+	for _, a := range s.attrs {
+		args = append(args, a.Key, a.Value)
+	}
+	return base.With(args...)
+}

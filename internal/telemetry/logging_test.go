@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNewLoggerText checks the text handler drops timestamps (stable CLI
+// output) and respects the level floor.
+func TestNewLoggerText(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("image scanned", "image", "web-01", "warnings", 3)
+	got := b.String()
+	if strings.Contains(got, "hidden") {
+		t.Fatalf("debug record passed an info floor: %q", got)
+	}
+	want := "level=INFO msg=\"image scanned\" image=web-01 warnings=3\n"
+	if got != want {
+		t.Fatalf("text record = %q, want %q", got, want)
+	}
+}
+
+// TestNewLoggerJSON checks the json handler emits one parseable object per
+// line, timestamps included.
+func TestNewLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("parse failed", "image", "db-02")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("json record not parseable: %v: %q", err, b.String())
+	}
+	if doc["msg"] != "parse failed" || doc["image"] != "db-02" || doc["level"] != "DEBUG" {
+		t.Fatalf("json record = %v", doc)
+	}
+	if _, ok := doc["time"]; !ok {
+		t.Fatalf("json record lost its timestamp: %v", doc)
+	}
+}
+
+// TestNewLoggerRejectsUnknown checks flag validation errors.
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "xml", "info"); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	if _, err := NewLogger(&strings.Builder{}, "text", "loud"); err == nil {
+		t.Fatal("want error for unknown level")
+	}
+}
+
+// TestSpanLogger checks span correlation: the derived logger stamps the
+// span id and the span's attributes onto every record.
+func TestSpanLogger(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	sp := r.StartSpan("scan.image", A("image", "web-01"), A("worker", "2"))
+	sp.Logger(log).Info("checked")
+	sp.End()
+	got := b.String()
+	for _, want := range []string{"span=1", "image=web-01", "worker=2", "msg=checked"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("span-correlated record missing %q: %q", want, got)
+		}
+	}
+}
+
+// TestSpanLoggerNilSafety pins the degenerate combinations: nil span, nil
+// base, both nil. None may panic; records must still flow (or be silently
+// discarded when there is nowhere to write).
+func TestSpanLoggerNilSafety(t *testing.T) {
+	var sp *Span
+	sp.Logger(nil).Info("into the void")
+	var b strings.Builder
+	log, _ := NewLogger(&b, "text", "info")
+	sp.Logger(log).Info("no span")
+	if !strings.Contains(b.String(), "msg=\"no span\"") {
+		t.Fatalf("nil span lost the base logger: %q", b.String())
+	}
+	r := New()
+	live := r.StartSpan("x")
+	live.Logger(nil).Info("discarded")
+	live.End()
+	if LoggerOr(nil) != NopLogger() {
+		t.Fatal("LoggerOr(nil) is not the nop logger")
+	}
+	if LoggerOr(log) != log {
+		t.Fatal("LoggerOr replaced a live logger")
+	}
+}

@@ -1,0 +1,193 @@
+// Prometheus text exposition (format version 0.0.4) rendered live from a
+// recorder snapshot. The naming scheme:
+//
+//   - pipeline counters become "encore_*_total" counters — the well-known
+//     counters get curated idiomatic names (scan.images.scanned ->
+//     encore_scan_images_total), everything else falls back to
+//     "encore_<sanitized>_total";
+//   - stage timers become two counter families keyed by a "stage" label,
+//     encore_stage_seconds_total and encore_stage_runs_total;
+//   - log2 latency histograms become classic Prometheus histograms in
+//     seconds ("encore_<sanitized>_seconds" with cumulative _bucket series,
+//     _sum, and _count), bucket upper bounds carried over from the fixed
+//     microsecond<<i boundaries;
+//   - the runtime sampler's latest reading becomes process gauges
+//     (encore_heap_bytes, encore_goroutines, encore_progress_done/_total)
+//     and cumulative GC counters;
+//   - the current pipeline phase is an info-style gauge,
+//     encore_phase{phase="..."} 1.
+//
+// Families render sorted by metric name, so equal snapshots render to
+// equal bytes.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promCounterNames maps the pipeline counter constants to idiomatic
+// Prometheus metric names. Counters not listed here are exposed under the
+// generic sanitized fallback.
+var promCounterNames = map[string]string{
+	CounterImagesParsed:       "encore_assemble_images_parsed_total",
+	CounterFilesParsed:        "encore_assemble_files_parsed_total",
+	CounterAttrsDeclared:      "encore_assemble_attributes_declared_total",
+	CounterRulesValidated:     "encore_rules_candidates_validated_total",
+	CounterRulesKept:          "encore_rules_kept_total",
+	CounterRulesPrunedSupport: "encore_rules_pruned_support_total",
+	CounterRulesPrunedEntropy: "encore_rules_pruned_entropy_total",
+	CounterImagesScanned:      "encore_scan_images_total",
+	CounterFindingsEmitted:    "encore_scan_findings_total",
+	CounterScanErrors:         "encore_scan_errors_total",
+}
+
+// promSanitize rewrites an internal dotted name into a metric-name-safe
+// token: every character outside [a-zA-Z0-9_] becomes '_'.
+func promSanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promCounterName resolves the exposition name for a pipeline counter.
+func promCounterName(name string) string {
+	if n, ok := promCounterNames[name]; ok {
+		return n
+	}
+	return "encore_" + promSanitize(name) + "_total"
+}
+
+// promHistName resolves the exposition name for a latency histogram.
+func promHistName(name string) string {
+	return "encore_" + promSanitize(name) + "_seconds"
+}
+
+// promFloat formats a float sample value the way Prometheus expects
+// (shortest round-trip representation; +Inf/-Inf/NaN spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscapeLabel escapes a label value per the exposition format.
+func promEscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promFamily is one metric family: the HELP/TYPE header plus its sample
+// lines, accumulated then rendered in name order.
+type promFamily struct {
+	name, help, typ string
+	lines           []string
+}
+
+func (f *promFamily) addf(format string, args ...any) {
+	f.lines = append(f.lines, fmt.Sprintf(format, args...))
+}
+
+// PromText renders the snapshot in the Prometheus text exposition format,
+// version 0.0.4. The output is deterministic for a given snapshot: metric
+// families sort by name and every sample line within a family keeps
+// insertion order (bucket bounds ascending, stages sorted by name).
+func (s Snapshot) PromText() string {
+	var families []*promFamily
+	add := func(name, help, typ string) *promFamily {
+		f := &promFamily{name: name, help: help, typ: typ}
+		families = append(families, f)
+		return f
+	}
+
+	if s.Phase != "" {
+		f := add("encore_phase", "Current pipeline phase.", "gauge")
+		f.addf(`encore_phase{phase="%s"} 1`, promEscapeLabel(s.Phase))
+	}
+
+	for _, c := range s.Counters {
+		name := promCounterName(c.Name)
+		f := add(name, "Pipeline counter "+c.Name+".", "counter")
+		f.addf("%s %d", name, c.Value)
+	}
+
+	if len(s.Stages) > 0 {
+		secs := add("encore_stage_seconds_total", "Accumulated wall-clock time per pipeline stage.", "counter")
+		runs := add("encore_stage_runs_total", "Recorded runs per pipeline stage.", "counter")
+		for _, st := range s.Stages {
+			label := promEscapeLabel(st.Name)
+			secs.addf(`encore_stage_seconds_total{stage="%s"} %s`, label, promFloat(st.Total.Seconds()))
+			runs.addf(`encore_stage_runs_total{stage="%s"} %d`, label, st.Runs)
+		}
+	}
+
+	for _, h := range s.Histograms {
+		name := promHistName(h.Name)
+		f := add(name, "Latency histogram "+h.Name+" (seconds).", "histogram")
+		var cum uint64
+		for _, b := range h.Buckets {
+			if b.Upper == bucketUpper(histBuckets) {
+				// The overflow bucket has no finite bound; its samples land
+				// in the +Inf series below.
+				continue
+			}
+			cum += b.Count
+			f.addf(`%s_bucket{le="%s"} %d`, name, promFloat(b.Upper.Seconds()), cum)
+		}
+		f.addf(`%s_bucket{le="+Inf"} %d`, name, h.Count)
+		f.addf("%s_sum %s", name, promFloat(h.Sum.Seconds()))
+		f.addf("%s_count %d", name, h.Count)
+	}
+
+	if n := len(s.Runtime); n > 0 {
+		latest := s.Runtime[n-1]
+		gauge := func(name, help string, value string) {
+			add(name, help, "gauge").addf("%s %s", name, value)
+		}
+		gauge("encore_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc) at the last sample.", strconv.FormatUint(latest.HeapBytes, 10))
+		gauge("encore_goroutines", "Live goroutines at the last sample.", strconv.Itoa(latest.Goroutines))
+		add("encore_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter").
+			addf("encore_gc_pause_seconds_total %s", promFloat(latest.GCPauseTotal.Seconds()))
+		add("encore_gc_cycles_total", "Completed GC cycles.", "counter").
+			addf("encore_gc_cycles_total %d", latest.GCCycles)
+		if latest.ProgressTotal > 0 {
+			gauge("encore_progress_done", "Batch units finished.", strconv.FormatInt(latest.ProgressDone, 10))
+			gauge("encore_progress_total", "Batch units expected.", strconv.FormatInt(latest.ProgressTotal, 10))
+		}
+		gauge("encore_runtime_samples", "Runtime samples held in the ring buffer.", strconv.Itoa(n))
+		if s.SampleEvery > 0 {
+			gauge("encore_runtime_sample_interval_seconds", "Runtime sampler cadence.", promFloat(s.SampleEvery.Seconds()))
+		}
+	}
+
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromTextGolden locks the Prometheus text exposition byte-for-byte on
+// the shared deterministic fixture.
+func TestPromTextGolden(t *testing.T) {
+	got := exportFixture().PromText()
+	checkGolden(t, []byte(got), "metrics.golden.prom")
+}
+
+// TestPromTextWellFormed checks the exposition's structural invariants on
+// the fixture: every sample belongs to an announced family, histogram
+// bucket series are cumulative (monotonically non-decreasing, ending at
+// the +Inf count), and _count agrees with the snapshot.
+func TestPromTextWellFormed(t *testing.T) {
+	text := exportFixture().PromText()
+	types := map[string]string{}
+	var lastFamily string
+	var bucketPrev uint64
+	var bucketSeen bool
+	var infCount, count uint64
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if parts[2] < lastFamily {
+				t.Fatalf("families out of order: %q after %q", parts[2], lastFamily)
+			}
+			lastFamily = parts[2]
+			types[parts[2]] = parts[3]
+		default:
+			name := line[:strings.IndexAny(line, "{ ")]
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suffix) && types[strings.TrimSuffix(name, suffix)] == "histogram" {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+			if _, ok := types[base]; !ok {
+				t.Fatalf("sample %q has no TYPE header", line)
+			}
+			if !strings.HasPrefix(base, "encore_") {
+				t.Fatalf("metric %q not in the encore_ namespace", name)
+			}
+			val := line[strings.LastIndex(line, " ")+1:]
+			if strings.HasSuffix(name, "_bucket") {
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("bucket value %q: %v", val, err)
+				}
+				if bucketSeen && n < bucketPrev {
+					t.Fatalf("bucket series not cumulative at %q (%d < %d)", line, n, bucketPrev)
+				}
+				bucketPrev, bucketSeen = n, true
+				if strings.Contains(line, `le="+Inf"`) {
+					infCount = n
+					bucketPrev, bucketSeen = 0, false
+				}
+			}
+			if name == "encore_scan_image_scan_seconds_count" {
+				count, _ = strconv.ParseUint(val, 10, 64)
+			}
+		}
+	}
+	if infCount == 0 || count == 0 || infCount != count {
+		t.Fatalf("le=+Inf bucket = %d, _count = %d; want equal and non-zero", infCount, count)
+	}
+	if types["encore_scan_images_total"] != "counter" {
+		t.Fatalf("encore_scan_images_total missing or mistyped: %v", types)
+	}
+}
+
+// TestPromCounterNames pins the curated names and the sanitized fallback.
+func TestPromCounterNames(t *testing.T) {
+	if got := promCounterName(CounterImagesScanned); got != "encore_scan_images_total" {
+		t.Fatalf("scan.images.scanned -> %q", got)
+	}
+	if got := promCounterName("custom.thing-2"); got != "encore_custom_thing_2_total" {
+		t.Fatalf("fallback -> %q", got)
+	}
+	if got := promHistName(HistImageScan); got != "encore_scan_image_scan_seconds" {
+		t.Fatalf("hist name -> %q", got)
+	}
+}
+
+// TestPromTextPhaseAndRuntime checks the phase gauge and the runtime
+// gauges reflect the snapshot's latest sample.
+func TestPromTextPhaseAndRuntime(t *testing.T) {
+	s := Snapshot{
+		Phase:       `sc"an\`,
+		SampleEvery: 2 * time.Second,
+		Runtime: []RuntimeSample{
+			{HeapBytes: 10, Goroutines: 3},
+			{HeapBytes: 42, Goroutines: 7, GCCycles: 5, GCPauseTotal: 1500 * time.Microsecond, ProgressDone: 3, ProgressTotal: 9},
+		},
+	}
+	text := s.PromText()
+	for _, want := range []string{
+		"encore_phase{phase=\"sc\\\"an\\\\\"} 1\n",
+		"encore_heap_bytes 42\n",
+		"encore_goroutines 7\n",
+		"encore_gc_cycles_total 5\n",
+		"encore_gc_pause_seconds_total 0.0015\n",
+		"encore_progress_done 3\n",
+		"encore_progress_total 9\n",
+		"encore_runtime_samples 2\n",
+		"encore_runtime_sample_interval_seconds 2\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Progress gauges only appear when a total is known.
+	if text := (Snapshot{Runtime: []RuntimeSample{{HeapBytes: 1}}}).PromText(); strings.Contains(text, "encore_progress") {
+		t.Fatalf("progress gauges leaked without a progress source:\n%s", text)
+	}
+	// An empty snapshot renders to nothing rather than junk families.
+	if text := (Snapshot{}).PromText(); text != "" {
+		t.Fatalf("empty snapshot rendered %q", text)
+	}
+}
+
+// TestPromFloat pins the sample-value formats Prometheus parsers expect.
+func TestPromFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1.5:    "1.5",
+		0.0015: "0.0015",
+	}
+	for in, want := range cases {
+		if got := promFloat(in); got != want {
+			t.Fatalf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -56,6 +56,31 @@ func NewProgress(w io.Writer, label string, total int, interval time.Duration) *
 	return p
 }
 
+// Done reports the number of finished units so far. Safe on a nil
+// reporter.
+func (p *Progress) Done() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.done.Load()
+}
+
+// Total reports the expected unit count. Safe on a nil reporter.
+func (p *Progress) Total() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// Findings reports the accumulated finding count. Safe on a nil reporter.
+func (p *Progress) Findings() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.findings.Load()
+}
+
 // Step records one finished unit and its finding count. Safe on a nil
 // reporter and from any goroutine.
 func (p *Progress) Step(findings int) {

@@ -63,6 +63,15 @@ func (r *Recorder) startSpan(name string, parent int64, attrs []Attr) *Span {
 	}
 }
 
+// ID returns the span's identifier (0 on a nil span), the value exported
+// snapshots and span-correlated log records carry.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // StartChild opens a child span under s. Safe on a nil span.
 func (s *Span) StartChild(name string, attrs ...Attr) *Span {
 	if s == nil {

@@ -75,10 +75,12 @@ const minRenderPad = 36
 type Recorder struct {
 	mu       sync.Mutex
 	epoch    time.Time
+	phase    string
 	counters map[string]int64
 	stages   map[string]stage
 	hists    map[string]*Histogram
 	spans    []SpanData
+	sampler  *Sampler
 	spanID   atomic.Int64
 }
 
@@ -96,6 +98,43 @@ func New() *Recorder {
 		stages:   make(map[string]stage),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// SetPhase records the pipeline phase the process is currently in; the
+// live /healthz endpoint and the exported snapshot surface it. StartStage
+// updates it automatically, so explicit calls are only needed for
+// phases that are not stages ("learn", "done"). Safe on a nil recorder.
+func (r *Recorder) SetPhase(phase string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.phase = phase
+	r.mu.Unlock()
+}
+
+// Phase returns the current pipeline phase ("" on a nil recorder).
+func (r *Recorder) Phase() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phase
+}
+
+// AttachSampler folds a runtime sampler into the recorder: snapshots gain
+// its ring-buffer timeseries, and the sampler's clock is aligned with the
+// recorder epoch so spans and samples share a timeline. Attach before
+// Sampler.Start. Safe on a nil recorder (the sampler is left detached).
+func (r *Recorder) AttachSampler(s *Sampler) {
+	if r == nil {
+		return
+	}
+	s.SetEpoch(r.epoch)
+	r.mu.Lock()
+	r.sampler = s
+	r.mu.Unlock()
 }
 
 // Add increments a named counter. Safe on a nil recorder.
@@ -163,6 +202,7 @@ func (r *Recorder) StartStage(name string) func() {
 	if r == nil {
 		return func() {}
 	}
+	r.SetPhase(name)
 	start := time.Now()
 	return func() { r.Observe(name, time.Since(start)) }
 }
@@ -192,13 +232,18 @@ type StageTiming struct {
 }
 
 // Snapshot is a point-in-time copy of a recorder, ordered deterministically
-// (counters, stages, and histograms by name; spans by start offset then id)
-// so that rendering and export are stable.
+// (counters, stages, and histograms by name; spans by start offset then id;
+// runtime samples oldest-first) so that rendering and export are stable.
 type Snapshot struct {
+	Phase      string
 	Counters   []CounterValue
 	Stages     []StageTiming
 	Histograms []HistogramData
 	Spans      []SpanData
+	// SampleEvery and Runtime carry the attached Sampler's cadence and
+	// ring-buffer timeseries (zero/nil when no sampler is attached).
+	SampleEvery time.Duration
+	Runtime     []RuntimeSample
 }
 
 // Snapshot copies the recorder's current state. Safe on a nil recorder
@@ -208,8 +253,18 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	// Read the sampler outside r.mu: Sampler.Samples takes the sampler's
+	// own lock and never calls back into the recorder.
+	r.mu.Lock()
+	sampler := r.sampler
+	r.mu.Unlock()
+	if sampler != nil {
+		s.SampleEvery = sampler.Interval()
+		s.Runtime = sampler.Samples()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	s.Phase = r.phase
 	for name, v := range r.counters {
 		s.Counters = append(s.Counters, CounterValue{Name: name, Value: v})
 	}

@@ -3,7 +3,6 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
 	"strconv"
 )
@@ -118,14 +117,12 @@ func (s Snapshot) ChromeTrace() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// WriteChromeTrace writes the Chrome trace document to a file.
+// WriteChromeTrace writes the Chrome trace document to a file ("-" for
+// stdout).
 func (s Snapshot) WriteChromeTrace(path string) error {
 	data, err := s.ChromeTrace()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("telemetry: write trace: %w", err)
-	}
-	return nil
+	return writeArtifact(path, data, "trace")
 }
