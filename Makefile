@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 smoke bench bench-rules bench-scan bench-all fuzz fmt
+.PHONY: tier1 tier2 smoke bench bench-rules bench-scan bench-check bench-all bench-smoke fuzz fmt
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
@@ -45,8 +45,24 @@ bench-scan:
 	@grep -o '"Output":"[^"]*"' BENCH_scan.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
+# Per-image check-path perf trajectory: the legacy detector, the
+# profile-backed detector, and the compiled check plan on the same corpus
+# and target, recorded machine-readably like bench-scan. The plan/legacy
+# ratio is the allocation-diet headline.
+bench-check:
+	$(GO) test -run '^$$' -bench='DetectorCheck|ProfileCheck|PlanCheck' -benchmem -json . > BENCH_check.json
+	@grep -o '"Output":"[^"]*"' BENCH_check.json | sed 's/^"Output":"//;s/"$$//' | \
+		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
+
 # Refresh every recorded benchmark file in one go.
-bench-all: bench-rules bench-scan
+bench-all: bench-rules bench-scan bench-check
+
+# One-iteration pass over the recorded benchmark families so CI catches
+# bench bit-rot without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench='BatchScan|RuleInference|DetectorCheck|ProfileCheck|PlanCheck' \
+		-benchtime 1x -benchmem . >/dev/null
+	@echo "bench-smoke: benchmarks build and run OK"
 
 # Short fuzz pass over each config-parser dialect (seed corpus always
 # runs as part of tier 1; this explores beyond it).

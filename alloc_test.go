@@ -1,0 +1,77 @@
+package encore
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+)
+
+// Allocation ceilings for the per-image hot path. Measured steady-state
+// costs are ~64 allocs for Plan.Check (mysql corpus image) and ~193 for
+// LoadJSON of a ~5KB snapshot; the ceilings leave roughly 2x headroom for
+// legitimate growth while still catching a re-bloat of the scan path (the
+// legacy per-image Check ran at ~700 allocs).
+const (
+	maxPlanCheckAllocs = 150
+	maxLoadJSONAllocs  = 400
+)
+
+// TestPlanCheckAllocCeiling pins the steady-state allocation count of one
+// compiled-plan check so future changes cannot silently reintroduce
+// per-image churn (histograms, datasets, per-call name strings).
+func TestPlanCheckAllocCeiling(t *testing.T) {
+	training, err := corpus.Training("mysql", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fw.CompilePlan(k)
+	targets, err := corpus.Training("mysql", 4, 1009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the scratch pool and the target-name interner.
+	for _, img := range targets {
+		if _, err := plan.Check(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := targets[0]
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := plan.Check(img); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxPlanCheckAllocs {
+		t.Errorf("Plan.Check allocated %.1f objects per image; ceiling is %d", allocs, maxPlanCheckAllocs)
+	}
+}
+
+// TestLoadJSONAllocCeiling pins the decode cost of one image snapshot.
+func TestLoadJSONAllocCeiling(t *testing.T) {
+	images, err := corpus.Training("mysql", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := images[0].MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sysimage.LoadJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := sysimage.LoadJSON(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxLoadJSONAllocs {
+		t.Errorf("LoadJSON allocated %.1f objects for a %d-byte image; ceiling is %d",
+			allocs, len(data), maxLoadJSONAllocs)
+	}
+}

@@ -11,6 +11,7 @@ package encore
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/assemble"
@@ -558,6 +559,53 @@ func BenchmarkBatchScanWorkersNumCPU(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Scan(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchScanWorkers records the full worker-scaling curve of the
+// batch scan (one sub-benchmark per pool size), so BENCH_scan.json tracks
+// the shape of the curve across PRs, not just its two endpoints.
+func BenchmarkBatchScanWorkers(b *testing.B) {
+	fw, k, targets := benchScanFleet(b)
+	eng := fw.ScanEngine(k)
+	axis := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		axis = append(axis, n)
+	}
+	for _, w := range axis {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Scan(targets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCheck measures one compiled-plan check per op — the
+// per-image hot path of the batch scan, to be read against
+// BenchmarkDetectorCheck (the legacy per-image detector on the same
+// corpus and target).
+func BenchmarkPlanCheck(b *testing.B) {
+	images, err := corpus.Training("mysql", 60, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := fw.CompilePlan(k)
+	target := corpus.RealWorldCases()[2].Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Check(target); err != nil {
 			b.Fatal(err)
 		}
 	}

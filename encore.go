@@ -60,6 +60,9 @@ type (
 	ScanResult = scan.Result
 	// ScanError is one isolated per-image scan failure.
 	ScanError = scan.ScanError
+	// Plan is a compiled, immutable check plan shared read-only across
+	// scan workers (see CompilePlan).
+	Plan = detect.Plan
 	// Telemetry records pipeline counters and stage timings.
 	Telemetry = telemetry.Recorder
 )
@@ -195,6 +198,24 @@ func (f *Framework) Detector(k *Knowledge) *detect.Detector {
 	return dt
 }
 
+// CompilePlan compiles learned knowledge into an immutable check plan:
+// histograms, scores, type checkers, and the misspelling index are
+// resolved once, and Plan.Check then runs the four anomaly checks over
+// pooled per-image scratch. Reports are identical to Check's; the plan
+// snapshots the knowledge, so compile a new one after re-learning.
+func (f *Framework) CompilePlan(k *Knowledge) *detect.Plan {
+	return f.Detector(k).Compile()
+}
+
+// CompilePlanFromProfile compiles a deserialized knowledge profile into a
+// check plan (the batch counterpart of CheckWithProfile).
+func (f *Framework) CompilePlanFromProfile(p *profile.Profile) *detect.Plan {
+	dt := p.Detector()
+	dt.Assembler = f.Assembler
+	dt.Templates = f.Engine.Templates
+	return dt.Compile()
+}
+
 // Templates returns the framework's active rule templates.
 func (f *Framework) Templates() []*templates.Template { return f.Engine.Templates }
 
@@ -216,20 +237,25 @@ func (f *Framework) SetLogger(log *slog.Logger) {
 
 // ScanEngine returns a batch scan engine that checks targets against
 // learned knowledge with per-image fault isolation (see internal/scan).
-// The engine inherits the assembler's telemetry recorder.
+// The knowledge is compiled into a check plan once, shared read-only by
+// every worker (reports are identical to per-image Check calls; the
+// report-equivalence tests lock this down). The engine inherits the
+// assembler's telemetry recorder. Compile a new engine after customizing
+// the framework or re-learning.
 func (f *Framework) ScanEngine(k *Knowledge) *scan.Engine {
 	return &scan.Engine{
-		Check:     func(img *sysimage.Image) (*detect.Report, error) { return f.Check(k, img) },
+		Check:     f.CompilePlan(k).Check,
 		Telemetry: f.Assembler.Telemetry,
 		Log:       f.Assembler.Log,
 	}
 }
 
 // ScanEngineWithProfile returns a batch scan engine over a deserialized
-// knowledge profile (no training corpus in memory).
+// knowledge profile (no training corpus in memory), with the profile
+// compiled into a shared check plan like ScanEngine.
 func (f *Framework) ScanEngineWithProfile(p *profile.Profile) *scan.Engine {
 	return &scan.Engine{
-		Check:     func(img *sysimage.Image) (*detect.Report, error) { return f.CheckWithProfile(p, img) },
+		Check:     f.CompilePlanFromProfile(p).Check,
 		Telemetry: f.Assembler.Telemetry,
 		Log:       f.Assembler.Log,
 	}

@@ -1,0 +1,130 @@
+package assemble
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/conftypes"
+	"repro/internal/sysimage"
+	"repro/internal/telemetry"
+)
+
+// TargetSink receives the assembled attribute stream of one target image.
+// It is the zero-materialization counterpart of AssembleTarget's dataset:
+// a compiled check plan implements it over pooled per-worker scratch so a
+// batch scan builds no dataset, no attribute index, and no fresh name
+// strings per image.
+//
+// StreamTarget drives the sink in exactly the order the dataset path
+// produces attributes: for every entry argument Declare, then Add, then
+// the Table 5a augmentations (each Declare+Add); finally the Table 5b
+// environment attributes.
+type TargetSink interface {
+	// Declare announces an attribute before its first Add. augmented marks
+	// attributes synthesized from environment data. Declarations repeat
+	// (once per occurrence); first-declaration semantics are the sink's
+	// responsibility, mirroring dataset.DeclareAttr.
+	Declare(name string, t conftypes.Type, augmented bool)
+	// Add records one instance value of an attribute.
+	Add(name, value string)
+	// TypeOf resolves the semantic type of an entry attribute. value is
+	// the instance being emitted; AssembleTarget's one-pass type map means
+	// the first observed instance decides the type for every later
+	// occurrence of the same name, so sinks must memoize their answer.
+	TypeOf(name, value string) conftypes.Type
+	// InternName canonicalizes a constructed attribute name. The byte
+	// slice is only valid during the call; sinks return a stable string
+	// (typically from an interning table keyed by the training attribute
+	// names, so repeated names across a corpus cost no allocation).
+	InternName(name []byte) string
+}
+
+// appendEntryName appends the canonical attribute name of one entry
+// argument to buf — the byte-building twin of attrName, kept in lockstep
+// with it ("app:section/key" or "app:key", plus "/argN" for
+// multi-argument entries).
+func appendEntryName(buf []byte, app string, e *entryRef, argIdx, argCount int) []byte {
+	buf = append(buf, app...)
+	buf = append(buf, ':')
+	if e.section != "" {
+		buf = append(buf, e.section...)
+		buf = append(buf, '/')
+	}
+	buf = append(buf, e.key...)
+	if argCount > 1 {
+		buf = append(buf, "/arg"...)
+		buf = strconv.AppendInt(buf, int64(argIdx+1), 10)
+	}
+	return buf
+}
+
+// entryRef carries the name parts of one parsed entry without forcing the
+// confparse import into the name builder's signature.
+type entryRef struct{ section, key string }
+
+// StreamTarget parses one target image and streams its assembled
+// attributes — configuration entries, Table 5a augmentations, Table 5b
+// environment attributes — into sink, without materializing a dataset.
+// Attribute order, names, types, and values are identical to what
+// AssembleTarget would have placed in its single row; the difference is
+// purely allocational. It is the per-image fast path of the compiled
+// check plan (internal/detect.Plan).
+func (a *Assembler) StreamTarget(img *sysimage.Image, sink TargetSink) error {
+	start := time.Now()
+	pi, err := parseOne(img)
+	a.Telemetry.ObserveDur(telemetry.HistImageParse, time.Since(start))
+	if err != nil {
+		return err
+	}
+	a.Telemetry.Add(telemetry.CounterImagesParsed, 1)
+	a.Telemetry.Add(telemetry.CounterFilesParsed, int64(len(img.ConfigFiles)))
+
+	buf := make([]byte, 0, 96)
+	for _, f := range pi.files {
+		for _, e := range f.Entries {
+			ref := entryRef{section: e.Section, key: e.Key}
+			if len(e.Values) == 0 {
+				// Bare flags carry the implicit value "on", exactly like
+				// entryValues.
+				buf = appendEntryName(buf[:0], f.App, &ref, 0, 1)
+				buf = a.streamOne(buf, sink, sink.InternName(buf), "on", img)
+				continue
+			}
+			for i, v := range e.Values {
+				buf = appendEntryName(buf[:0], f.App, &ref, i, len(e.Values))
+				buf = a.streamOne(buf, sink, sink.InternName(buf), v, img)
+			}
+		}
+	}
+	for _, env := range a.envAttrs {
+		if v, ok := env.Compute(img); ok {
+			sink.Declare(env.Name, env.Type, true)
+			sink.Add(env.Name, v)
+		}
+	}
+	return nil
+}
+
+// streamOne emits one entry attribute instance and its augmentations,
+// returning the (possibly grown) scratch buffer.
+func (a *Assembler) streamOne(buf []byte, sink TargetSink, name, value string, img *sysimage.Image) []byte {
+	t := sink.TypeOf(name, value)
+	sink.Declare(name, t, false)
+	sink.Add(name, value)
+	if a.SkipPatternValues && conftypes.LooksLikeRegexOrGlob(value) {
+		return buf
+	}
+	for _, aug := range a.augmenters[t] {
+		v, ok := aug.Compute(value, img)
+		if !ok {
+			continue
+		}
+		buf = append(buf[:0], name...)
+		buf = append(buf, '.')
+		buf = append(buf, aug.Suffix...)
+		augName := sink.InternName(buf)
+		sink.Declare(augName, aug.Type, true)
+		sink.Add(augName, v)
+	}
+	return buf
+}

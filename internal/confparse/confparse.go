@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // Entry is one configuration setting: a key with one or more positional
@@ -98,7 +100,11 @@ func ForApp(app string) (Dialect, error) {
 	return d, nil
 }
 
-// Parse parses content using the dialect registered for app.
+// Parse parses content using the dialect registered for app. Entry keys
+// and section paths are interned: dialects return them as substrings of
+// content, so canonicalizing here both deduplicates the (small, endlessly
+// repeated) key vocabulary across a corpus and stops retained entries
+// from pinning whole file contents.
 func Parse(app, path, content string) (*File, error) {
 	d, err := ForApp(app)
 	if err != nil {
@@ -107,6 +113,10 @@ func Parse(app, path, content string) (*File, error) {
 	entries, err := d.Parse(content)
 	if err != nil {
 		return nil, fmt.Errorf("confparse: %s (%s): %w", app, path, err)
+	}
+	for _, e := range entries {
+		e.Key = intern.String(e.Key)
+		e.Section = intern.String(e.Section)
 	}
 	return &File{App: app, Path: path, Entries: entries}, nil
 }

@@ -380,8 +380,13 @@ func editDistance(a, b string, bound int) int {
 	if abs(len(a)-len(b)) >= bound {
 		return bound
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	buf := make([]int, 2*(len(b)+1))
+	return editDistanceInto(a, b, bound, buf[:len(b)+1], buf[len(b)+1:])
+}
+
+// editDistanceInto is editDistance's DP body over caller-provided rows
+// (len(b)+1 each), so hot paths can reuse buffers across calls.
+func editDistanceInto(a, b string, bound int, prev, cur []int) int {
 	for j := range prev {
 		prev[j] = j
 	}

@@ -1,0 +1,533 @@
+package detect
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/assemble"
+	"repro/internal/conftypes"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/sysimage"
+	"repro/internal/templates"
+)
+
+// Plan is a compiled, immutable check plan: everything the four anomaly
+// checks need from the training side — per-attribute histograms,
+// cardinalities, precomputed scores, resolved type checkers, compiled
+// rule/template pairs, and a pruned entry-name index for misspelling
+// suggestions — resolved once at Compile time and shared read-only across
+// any number of scan workers. Per-image state lives in pooled scratch, so
+// Check builds no dataset, no histogram, and (for names already seen in
+// training) no strings.
+//
+// A Plan snapshots the detector's training view at Compile time; mutating
+// the training dataset afterwards is not reflected (compile a new Plan).
+// Check is safe for concurrent use and produces reports identical to
+// Detector.Check, which remains the reference implementation.
+type Plan struct {
+	samples   int
+	suspLimit int
+	assembler *assemble.Assembler
+
+	// attrStore backs attrs with one allocation; attrs indexes it by name.
+	attrStore []planAttr
+	attrs     map[string]*planAttr
+
+	// types carries TrainingTypes declarations for target-assembly type
+	// resolution (the map AssembleTarget would consult per image).
+	types map[string]conftypes.Type
+
+	// names interns every training-side attribute name: target attribute
+	// names are built in a byte buffer and resolved here without
+	// allocating whenever the name was seen in training.
+	names map[string]string
+
+	// nameIdx lists the non-augmented training attributes in declaration
+	// order for nearest-name search, each with a character signature for
+	// pruning.
+	nameIdx []nameCand
+
+	// rules pairs each learned rule with its resolved template; rules
+	// whose template is not installed are dropped at compile time, exactly
+	// as checkCorrelations skips them.
+	rules []planRule
+
+	pool sync.Pool
+}
+
+// planAttr is one training attribute's compiled summary.
+type planAttr struct {
+	decl dataset.Attribute
+	// has mirrors Detector.trainingHas (Present > 0).
+	has  bool
+	hist map[string]int
+	card int
+	// trivial caches decl.Type.IsTrivial().
+	trivial bool
+	// typeScore is checkTypes' cardinality-derived score.
+	typeScore float64
+	// suspScore is checkSuspiciousValues' score for an unseen value.
+	suspScore float64
+	// suspSkip marks attributes too diverse to carry peer signal
+	// (card*2 >= samples).
+	suspSkip bool
+	// check is the resolved type checker; nil means the type always
+	// passes (String/Enum/unknown defs).
+	check func(v string, img *sysimage.Image) (syntacticOK, semanticOK bool)
+}
+
+// nameCand is one candidate for nearest-name search.
+type nameCand struct {
+	name string
+	sig  uint64
+}
+
+// planRule is one learned rule with its template resolved.
+type planRule struct {
+	rule *rules.Rule
+	tpl  *templates.Template
+}
+
+// charSig folds a string's bytes into a 64-bit set (one bit per byte
+// class). Each unit edit changes at most one byte, hence adds at most one
+// bit to either side's exclusive set, so
+// popcount(sig(a) &^ sig(b)) <= editDistance(a, b): the signature test
+// only ever skips candidates that true edit distance would reject too.
+func charSig(s string) uint64 {
+	var sig uint64
+	for i := 0; i < len(s); i++ {
+		sig |= 1 << (s[i] & 63)
+	}
+	return sig
+}
+
+// Compile builds the immutable check plan for this detector's current
+// training view, rules, templates, and assembler.
+func (dt *Detector) Compile() *Plan {
+	attrs := dt.Training.Attributes()
+	inf := dt.Assembler.Inferencer
+	p := &Plan{
+		samples:   dt.Training.Samples(),
+		suspLimit: dt.SuspiciousValueLimit,
+		assembler: dt.Assembler,
+		attrStore: make([]planAttr, len(attrs)),
+		attrs:     make(map[string]*planAttr, len(attrs)),
+		types:     make(map[string]conftypes.Type, len(attrs)),
+		names:     make(map[string]string, len(attrs)),
+	}
+	for i, a := range attrs {
+		hist := dt.Training.Histogram(a.Name)
+		card := len(hist)
+		pa := &p.attrStore[i]
+		*pa = planAttr{
+			decl:    a,
+			has:     dt.Training.Present(a.Name) > 0,
+			hist:    hist,
+			card:    card,
+			trivial: a.Type.IsTrivial(),
+			check:   compileChecker(inf, a.Type),
+		}
+		pa.typeScore = 50.0
+		if card == 1 {
+			pa.typeScore = 90
+		} else if card > 1 {
+			pa.typeScore = 50 + 30/float64(card)
+		}
+		if card == 1 {
+			pa.suspScore = 70
+			if a.Augmented {
+				pa.suspScore = 75
+			}
+		} else {
+			pa.suspScore = 5 * stats.ICF(card, p.samples)
+		}
+		pa.suspSkip = card*2 >= p.samples
+		p.attrs[a.Name] = pa
+		p.names[a.Name] = a.Name
+		if !a.Augmented {
+			p.nameIdx = append(p.nameIdx, nameCand{name: a.Name, sig: charSig(a.Name)})
+		}
+	}
+	if dt.TrainingTypes != nil {
+		for _, a := range dt.TrainingTypes.Attributes() {
+			p.types[a.Name] = a.Type
+			p.names[a.Name] = a.Name
+		}
+	}
+	for _, r := range dt.Rules {
+		if tpl := dt.template(r.Template); tpl != nil {
+			p.rules = append(p.rules, planRule{rule: r, tpl: tpl})
+		}
+	}
+	p.pool.New = func() any { return newScratch(p) }
+	return p
+}
+
+// compileChecker resolves Inferencer.CheckValue's type dispatch once per
+// attribute. A nil checker means every value passes both steps.
+func compileChecker(inf *conftypes.Inferencer, t conftypes.Type) func(string, *sysimage.Image) (bool, bool) {
+	switch t {
+	case conftypes.TypeString, "":
+		return nil
+	case conftypes.TypeBoolean:
+		return func(v string, _ *sysimage.Image) (bool, bool) {
+			ok := conftypes.IsBooleanWord(v)
+			return ok, ok
+		}
+	case conftypes.TypeEnum:
+		return nil
+	}
+	def := inf.Def(t)
+	if def == nil {
+		return nil
+	}
+	if def.Verify == nil {
+		return func(v string, _ *sysimage.Image) (bool, bool) {
+			ok := def.Match(v)
+			return ok, ok
+		}
+	}
+	return func(v string, img *sysimage.Image) (bool, bool) {
+		if !def.Match(v) {
+			return false, false
+		}
+		return true, def.Verify(v, img)
+	}
+}
+
+// scratch is the per-image working state of one Check call, pooled and
+// reused across images. It implements assemble.TargetSink, receiving the
+// streamed target attributes directly into the cells map (the one row the
+// legacy path would have stored in a fresh dataset).
+type scratch struct {
+	p   *Plan
+	img *sysimage.Image
+
+	cells map[string][]string
+	// arena backs single-instance cell slices so most Adds allocate
+	// nothing; multi-instance attributes fall back to append's growth.
+	arena []string
+
+	// newAug resolves the target dataset's Augmented flag for attributes
+	// unseen in training. The legacy target dataset declares every parsed
+	// entry name (non-augmented) before emitting the row, so a
+	// non-augmented Declare always wins regardless of stream order;
+	// otherwise the first augmented Declare decides.
+	newAug map[string]bool
+
+	// typeMemo caches InferValue results per image for attributes absent
+	// from the training types, reproducing the first-occurrence-wins type
+	// map of AssembleTarget.
+	typeMemo map[string]conftypes.Type
+
+	// extra interns target-only attribute names across the images this
+	// scratch serves; bounded in release().
+	extra map[string]string
+
+	// edPrev/edCur are the edit-distance DP rows.
+	edPrev, edCur []int
+
+	warnings []*Warning
+	susp     []*Warning
+
+	row dataset.Row
+	ctx templates.Ctx
+}
+
+func newScratch(p *Plan) *scratch {
+	return &scratch{
+		p:        p,
+		cells:    make(map[string][]string, 1+len(p.attrs)/2),
+		arena:    make([]string, 0, 512),
+		newAug:   make(map[string]bool, 16),
+		typeMemo: make(map[string]conftypes.Type, 8),
+		extra:    make(map[string]string, 16),
+	}
+}
+
+// maxExtraInterned bounds the per-scratch interner for target-only names
+// so a pathological corpus cannot grow it without limit.
+const maxExtraInterned = 1 << 14
+
+// release returns the scratch to the pool with per-image state cleared.
+// The interner survives (that is its purpose); cells values may reference
+// the arena, so cells must be cleared before the arena is rewound.
+func (s *scratch) release() {
+	clear(s.cells)
+	clear(s.newAug)
+	clear(s.typeMemo)
+	if len(s.extra) > maxExtraInterned {
+		clear(s.extra)
+	}
+	s.arena = s.arena[:0]
+	s.warnings = s.warnings[:0]
+	s.susp = s.susp[:0]
+	s.img = nil
+	s.row = dataset.Row{}
+	s.ctx = templates.Ctx{}
+	s.p.pool.Put(s)
+}
+
+// slot carves a length-0, capacity-1 string slice out of the arena.
+func (s *scratch) slot() []string {
+	if len(s.arena) == cap(s.arena) {
+		s.arena = make([]string, 0, 2*cap(s.arena))
+	}
+	n := len(s.arena)
+	s.arena = s.arena[: n+1 : cap(s.arena)]
+	return s.arena[n:n:1+n]
+}
+
+// Declare implements assemble.TargetSink.
+func (s *scratch) Declare(name string, _ conftypes.Type, augmented bool) {
+	if _, known := s.p.attrs[name]; known {
+		// Training declarations come first in the legacy target dataset,
+		// so its flag wins; the plan reads it from planAttr directly.
+		return
+	}
+	if !augmented {
+		s.newAug[name] = false
+		return
+	}
+	if _, seen := s.newAug[name]; !seen {
+		s.newAug[name] = true
+	}
+}
+
+// Add implements assemble.TargetSink.
+func (s *scratch) Add(name, value string) {
+	vs, ok := s.cells[name]
+	if !ok {
+		vs = s.slot()
+	}
+	s.cells[name] = append(vs, value)
+}
+
+// TypeOf implements assemble.TargetSink.
+func (s *scratch) TypeOf(name, value string) conftypes.Type {
+	if t, ok := s.p.types[name]; ok {
+		return t
+	}
+	if t, ok := s.typeMemo[name]; ok {
+		return t
+	}
+	t := s.p.assembler.Inferencer.InferValue(value, s.img)
+	s.typeMemo[name] = t
+	return t
+}
+
+// InternName implements assemble.TargetSink.
+func (s *scratch) InternName(name []byte) string {
+	if n, ok := s.p.names[string(name)]; ok {
+		return n
+	}
+	if n, ok := s.extra[string(name)]; ok {
+		return n
+	}
+	n := string(name)
+	s.extra[n] = n
+	return n
+}
+
+// Check assembles the target image into pooled scratch and runs the four
+// anomaly checks against the compiled tables, returning a report
+// identical to Detector.Check's.
+func (p *Plan) Check(img *sysimage.Image) (*Report, error) {
+	s := p.pool.Get().(*scratch)
+	s.img = img
+	if err := p.assembler.StreamTarget(img, s); err != nil {
+		s.release()
+		return nil, err
+	}
+	s.row = dataset.Row{SystemID: img.ID, Cells: s.cells}
+	s.ctx = templates.Ctx{Row: &s.row, Image: img}
+
+	ws := s.warnings[:0]
+	ws = p.checkNames(s, ws)
+	ws = p.checkCorrelations(s, ws)
+	ws = p.checkTypes(s, img, ws)
+	ws = p.checkSuspicious(s, ws)
+
+	sort.SliceStable(ws, func(i, j int) bool {
+		if ws[i].Score != ws[j].Score {
+			return ws[i].Score > ws[j].Score
+		}
+		return ws[i].Attr < ws[j].Attr
+	})
+	// nil for a clean image, exactly like the legacy detector's
+	// unappended nil slice.
+	var out []*Warning
+	if len(ws) > 0 {
+		out = make([]*Warning, len(ws))
+		copy(out, ws)
+	}
+	for i, w := range out {
+		w.Rank = i + 1
+	}
+	s.warnings = ws
+	s.release()
+	return &Report{SystemID: img.ID, Warnings: out}, nil
+}
+
+// checkNames is checkNames compiled: the training flags come from the
+// plan, the target-side Augmented flag from the scratch's declare log.
+func (p *Plan) checkNames(s *scratch, ws []*Warning) []*Warning {
+	for attr := range s.cells {
+		if pa, ok := p.attrs[attr]; ok {
+			if pa.decl.Augmented || pa.has {
+				continue
+			}
+		} else if s.newAug[attr] {
+			continue
+		}
+		if isEnvAttr(attr) {
+			continue
+		}
+		msg := fmt.Sprintf("entry %q was never seen in the training set", attr)
+		score := 20.0
+		if near := p.nearest(s, attr); near != "" {
+			msg += fmt.Sprintf(" (did you mean %q?)", near)
+			score = 35.0
+		}
+		ws = append(ws, &Warning{Kind: KindName, Attr: attr, Message: msg, Score: score})
+	}
+	return ws
+}
+
+// nearest is nearestTrainingAttr over the compiled name index: the same
+// declaration-order scan with the same shrinking bound, plus two sound
+// prefilters (length difference and character signature) that only skip
+// candidates editDistance would have rejected at the current bound.
+func (p *Plan) nearest(s *scratch, attr string) string {
+	sig := charSig(attr)
+	best, bestDist := "", 3
+	for i := range p.nameIdx {
+		c := &p.nameIdx[i]
+		if d := len(c.name) - len(attr); d >= bestDist || -d >= bestDist {
+			continue
+		}
+		if bits.OnesCount64(sig&^c.sig) >= bestDist || bits.OnesCount64(c.sig&^sig) >= bestDist {
+			continue
+		}
+		if c.name == attr {
+			continue
+		}
+		if d := s.editDistance(attr, c.name, bestDist); d < bestDist {
+			best, bestDist = c.name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the bounded Levenshtein distance over the scratch's
+// reusable DP rows.
+func (s *scratch) editDistance(a, b string, bound int) int {
+	if abs(len(a)-len(b)) >= bound {
+		return bound
+	}
+	n := len(b) + 1
+	if cap(s.edPrev) < n {
+		s.edPrev = make([]int, n)
+		s.edCur = make([]int, n)
+	}
+	return editDistanceInto(a, b, bound, s.edPrev[:n], s.edCur[:n])
+}
+
+// checkCorrelations is checkCorrelations compiled: templates were
+// resolved per rule at Compile time.
+func (p *Plan) checkCorrelations(s *scratch, ws []*Warning) []*Warning {
+	for _, pr := range p.rules {
+		r := pr.rule
+		va := s.cells[r.AttrA]
+		vb := s.cells[r.AttrB]
+		if len(va) == 0 || len(vb) == 0 {
+			continue // absent entries: rule is ignored (Section 6)
+		}
+		holds, applicable := pr.tpl.Validate(va, vb, &s.ctx)
+		if !applicable || holds {
+			continue
+		}
+		ws = append(ws, &Warning{
+			Kind:  KindCorrelation,
+			Attr:  r.AttrA,
+			Value: strings.Join(va, ";"),
+			Rule:  r,
+			Message: fmt.Sprintf("correlation %s violated: %s=%q vs %s=%q",
+				r.Spec, r.AttrA, strings.Join(va, ";"), r.AttrB, strings.Join(vb, ";")),
+			Score: 40 + 20*r.Confidence,
+		})
+	}
+	return ws
+}
+
+// checkTypes is checkTypes compiled: the type dispatch and the
+// cardinality score were resolved per attribute at Compile time.
+func (p *Plan) checkTypes(s *scratch, img *sysimage.Image, ws []*Warning) []*Warning {
+	for attr, values := range s.cells {
+		pa, ok := p.attrs[attr]
+		if !ok || pa.decl.Augmented || pa.trivial || !pa.has {
+			continue
+		}
+		for _, v := range values {
+			if conftypes.LooksLikeRegexOrGlob(v) {
+				continue
+			}
+			syn, sem := true, true
+			if pa.check != nil {
+				syn, sem = pa.check(v, img)
+			}
+			if syn && sem {
+				continue
+			}
+			step := "semantic verification"
+			if !syn {
+				step = "syntactic match"
+			}
+			ws = append(ws, &Warning{
+				Kind:  KindType,
+				Attr:  attr,
+				Value: v,
+				Message: fmt.Sprintf("value %q of %s fails %s for type %s",
+					v, attr, step, pa.decl.Type),
+				Score: pa.typeScore,
+			})
+		}
+	}
+	return ws
+}
+
+// checkSuspicious is checkSuspiciousValues compiled: histogram,
+// cardinality, ICF, and the resulting score come from the plan.
+func (p *Plan) checkSuspicious(s *scratch, ws []*Warning) []*Warning {
+	sus := s.susp[:0]
+	for attr, values := range s.cells {
+		pa, ok := p.attrs[attr]
+		if !ok || !pa.has || pa.suspSkip {
+			continue
+		}
+		for _, v := range values {
+			if pa.hist[v] > 0 {
+				continue
+			}
+			sus = append(sus, &Warning{
+				Kind:  KindSuspicious,
+				Attr:  attr,
+				Value: v,
+				Message: fmt.Sprintf("value %q of %s never appeared in %d training systems (%d distinct values seen)",
+					v, attr, p.samples, pa.card),
+				Score: pa.suspScore,
+			})
+		}
+	}
+	sort.SliceStable(sus, func(i, j int) bool { return sus[i].Score > sus[j].Score })
+	s.susp = sus
+	if p.suspLimit > 0 && len(sus) > p.suspLimit {
+		sus = sus[:p.suspLimit]
+	}
+	return append(ws, sus...)
+}

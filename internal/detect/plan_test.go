@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/conftypes"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// randomName draws an attribute-like name: app prefix, a few path
+// segments over a small alphabet so edit-distance neighbours are common.
+func randomName(rng *rand.Rand) string {
+	const alphabet = "abcde_"
+	apps := []string{"mysql", "apache", "php"}
+	n := 3 + rng.Intn(8)
+	b := make([]byte, 0, n+8)
+	b = append(b, apps[rng.Intn(len(apps))]...)
+	b = append(b, ':')
+	for i := 0; i < n; i++ {
+		if i > 0 && i%4 == 0 {
+			b = append(b, '/')
+			continue
+		}
+		b = append(b, alphabet[rng.Intn(len(alphabet))])
+	}
+	return string(b)
+}
+
+// TestPlanNearestMatchesBruteForce is the pruned misspelling index's
+// property test: against random training vocabularies and random probes
+// (including near-misses of real names), Plan.nearest must return exactly
+// what the legacy declaration-order scan returns.
+func TestPlanNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		d := dataset.New()
+		for i := 0; i < 60; i++ {
+			d.DeclareAttr(randomName(rng), conftypes.TypeString, rng.Intn(4) == 0)
+		}
+		dt := New(d, nil)
+		p := dt.Compile()
+		s := p.pool.Get().(*scratch)
+		attrs := d.Attributes()
+		for probe := 0; probe < 80; probe++ {
+			var name string
+			if probe%2 == 0 {
+				name = randomName(rng)
+			} else {
+				// Mutate a real name so suggestions actually fire.
+				base := []byte(attrs[rng.Intn(len(attrs))].Name)
+				pos := rng.Intn(len(base))
+				switch rng.Intn(3) {
+				case 0:
+					base[pos] = "abcde_"[rng.Intn(6)]
+				case 1:
+					base = append(base[:pos], base[pos:]...)
+					base[pos] = 'x'
+				case 2:
+					base = append(base[:pos], base[min(pos+1, len(base)):]...)
+				}
+				name = string(base)
+			}
+			want := dt.nearestTrainingAttr(name)
+			got := p.nearest(s, name)
+			if want != got {
+				t.Fatalf("trial %d: nearest(%q) = %q, legacy %q", trial, name, got, want)
+			}
+		}
+		s.release()
+	}
+}
+
+// TestCharSigBoundsEditDistance verifies the pruning invariant the name
+// index relies on: the signature popcount never exceeds the true edit
+// distance, so signature-based skips are always sound.
+func TestCharSigBoundsEditDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := randomName(rng), randomName(rng)
+		d := editDistance(a, b, 1<<30)
+		sa, sb := charSig(a), charSig(b)
+		if lb := bits.OnesCount64(sa &^ sb); lb > d {
+			t.Fatalf("sig lower bound %d > distance %d for %q vs %q", lb, d, a, b)
+		}
+		if lb := bits.OnesCount64(sb &^ sa); lb > d {
+			t.Fatalf("sig lower bound %d > distance %d for %q vs %q", lb, d, b, a)
+		}
+	}
+}
+
+// TestEditDistanceIntoMatchesAlloc pins the buffer-reusing DP against the
+// allocating wrapper across random pairs and bounds.
+func TestEditDistanceIntoMatchesAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := &scratch{}
+	for i := 0; i < 5000; i++ {
+		a, b := randomName(rng), randomName(rng)
+		bound := 1 + rng.Intn(6)
+		if got, want := s.editDistance(a, b, bound), editDistance(a, b, bound); got != want {
+			t.Fatalf("editDistance(%q, %q, %d) = %d via scratch, %d via alloc", a, b, bound, got, want)
+		}
+	}
+}
+
+// TestPlanRulesDropMissingTemplates pins compile-time rule resolution: a
+// rule naming an uninstalled template is dropped (the legacy
+// checkCorrelations skip), while rules with installed templates compile.
+func TestPlanRulesDropMissingTemplates(t *testing.T) {
+	d := dataset.New()
+	d.DeclareAttr("mysql:a", conftypes.TypeString, false)
+	dt := New(d, nil)
+	dt.Rules = []*rules.Rule{
+		{Template: "no-such-template", AttrA: "mysql:a", AttrB: "mysql:a"},
+		{Template: dt.Templates[0].ID, AttrA: "mysql:a", AttrB: "mysql:a"},
+	}
+	p := dt.Compile()
+	if len(p.rules) != 1 || p.rules[0].tpl != dt.Templates[0] {
+		t.Fatalf("compiled %d rules; want exactly the one with an installed template", len(p.rules))
+	}
+}
+
+// TestScratchArenaReuse pins the arena rewind: repeated checks through
+// one scratch must not leak previously-scanned cell values into later
+// reports (covered end to end by the reused-scratch equivalence test,
+// verified here at the unit level).
+func TestScratchArenaReuse(t *testing.T) {
+	p := &Plan{}
+	p.pool.New = func() any { return newScratch(p) }
+	s := p.pool.Get().(*scratch)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 700; i++ { // crosses the initial arena capacity
+			s.Add(fmt.Sprintf("attr-%d", i), fmt.Sprintf("v%d-%d", round, i))
+		}
+		for i := 0; i < 700; i++ {
+			vs := s.cells[fmt.Sprintf("attr-%d", i)]
+			if len(vs) != 1 || vs[0] != fmt.Sprintf("v%d-%d", round, i) {
+				t.Fatalf("round %d attr-%d: cells = %v", round, i, vs)
+			}
+		}
+		// Multi-instance attributes must keep append order.
+		s.Add("multi", "one")
+		s.Add("multi", "two")
+		s.Add("multi", "three")
+		if got := s.cells["multi"]; len(got) != 3 || got[0] != "one" || got[2] != "three" {
+			t.Fatalf("round %d multi: %v", round, got)
+		}
+		clear(s.cells)
+		s.arena = s.arena[:0]
+	}
+}

@@ -1,0 +1,81 @@
+// Package intern provides a bounded, process-wide string interning table.
+//
+// A scanned corpus repeats the same short strings endlessly: every image
+// carries the same owners, groups, shells, application names, and
+// configuration keys. Interning collapses those duplicates to one
+// canonical copy each, which (a) lets per-image decode garbage die young,
+// and (b) releases substring-backed strings (a parsed key is a slice of
+// the whole file's content) so retained entries do not pin their source
+// buffers.
+//
+// The table only ever grows to MaxEntries canonical strings; past that,
+// lookups still deduplicate against existing entries but misses pass
+// through uninterned, so adversarial high-cardinality input cannot grow
+// the table without bound.
+package intern
+
+import "sync"
+
+// MaxEntries bounds the table size.
+const MaxEntries = 1 << 16
+
+var table = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string, 1024)}
+
+// String returns the canonical copy of s, storing s itself on first sight
+// (while the table has room).
+func String(s string) string {
+	if s == "" {
+		return ""
+	}
+	table.RLock()
+	c, ok := table.m[s]
+	table.RUnlock()
+	if ok {
+		return c
+	}
+	table.Lock()
+	defer table.Unlock()
+	if c, ok := table.m[s]; ok {
+		return c
+	}
+	if len(table.m) >= MaxEntries {
+		return s
+	}
+	table.m[s] = s
+	return s
+}
+
+// Bytes returns the canonical string for b, allocating only when b has
+// never been seen (map lookups on string(b) do not allocate).
+func Bytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	table.RLock()
+	c, ok := table.m[string(b)]
+	table.RUnlock()
+	if ok {
+		return c
+	}
+	table.Lock()
+	defer table.Unlock()
+	if c, ok := table.m[string(b)]; ok {
+		return c
+	}
+	s := string(b)
+	if len(table.m) >= MaxEntries {
+		return s
+	}
+	table.m[s] = s
+	return s
+}
+
+// Len reports the current table size (for tests and diagnostics).
+func Len() int {
+	table.RLock()
+	defer table.RUnlock()
+	return len(table.m)
+}

@@ -1,0 +1,78 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestStringCanonicalizes(t *testing.T) {
+	a := String("intern-test-" + fmt.Sprint(1))
+	b := String("intern-test-" + fmt.Sprint(1)) // distinct backing array
+	if a != b {
+		t.Fatalf("interned values differ: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatal("second String call did not return the canonical copy")
+	}
+	if String("") != "" {
+		t.Fatal("empty string must pass through")
+	}
+}
+
+func TestBytesMatchesString(t *testing.T) {
+	s := String("intern-bytes-probe")
+	got := Bytes([]byte("intern-bytes-probe"))
+	if got != s || unsafe.StringData(got) != unsafe.StringData(s) {
+		t.Fatal("Bytes did not resolve to the canonical String entry")
+	}
+	if Bytes(nil) != "" {
+		t.Fatal("empty bytes must pass through")
+	}
+}
+
+// TestBytesHitPathNoAlloc pins the property LoadJSON's diet relies on:
+// resolving an already-interned name from a byte slice allocates nothing.
+func TestBytesHitPathNoAlloc(t *testing.T) {
+	String("intern-noalloc-probe")
+	b := []byte("intern-noalloc-probe")
+	if allocs := testing.AllocsPerRun(100, func() { Bytes(b) }); allocs > 0 {
+		t.Fatalf("Bytes hit path allocated %.1f objects per call", allocs)
+	}
+}
+
+// TestBoundedGrowth verifies misses past MaxEntries pass through without
+// growing the table, while existing entries keep deduplicating.
+func TestBoundedGrowth(t *testing.T) {
+	for i := 0; Len() < MaxEntries; i++ {
+		String(fmt.Sprintf("intern-fill-%d", i))
+	}
+	before := Len()
+	s := String("intern-overflow-miss")
+	if Len() != before {
+		t.Fatalf("table grew past MaxEntries: %d -> %d", before, Len())
+	}
+	if s != "intern-overflow-miss" {
+		t.Fatal("overflow miss did not pass the input through")
+	}
+	// Hits still canonicalize at capacity.
+	if String("intern-fill-0") != "intern-fill-0" {
+		t.Fatal("existing entry lost at capacity")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				String(fmt.Sprintf("intern-conc-%d", i%50))
+				Bytes([]byte(fmt.Sprintf("intern-conc-%d", i%50)))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

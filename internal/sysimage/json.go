@@ -33,6 +33,7 @@ func LoadJSON(data []byte) (*Image, error) {
 	if im.Env == nil {
 		im.Env = make(map[string]string)
 	}
+	im.internStrings()
 	return &im, nil
 }
 

@@ -1,0 +1,119 @@
+package sysimage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/intern"
+)
+
+// internStrings canonicalizes the image's small-vocabulary fields through
+// the process-wide interner: a corpus repeats the same owners, groups,
+// shells, apps, and paths in every image, so deduplicating them on load
+// keeps one copy alive instead of one per image.
+func (im *Image) internStrings() {
+	for _, fm := range im.Files {
+		fm.Owner = intern.String(fm.Owner)
+		fm.Group = intern.String(fm.Group)
+		fm.Target = intern.String(fm.Target)
+	}
+	for _, u := range im.Users {
+		u.Home = intern.String(u.Home)
+		u.Shell = intern.String(u.Shell)
+	}
+	for i := range im.Services {
+		im.Services[i].Name = intern.String(im.Services[i].Name)
+		im.Services[i].Protocol = intern.String(im.Services[i].Protocol)
+	}
+	for i := range im.ConfigFiles {
+		im.ConfigFiles[i].App = intern.String(im.ConfigFiles[i].App)
+		im.ConfigFiles[i].Path = intern.String(im.ConfigFiles[i].Path)
+	}
+	im.OS.DistName = intern.String(im.OS.DistName)
+	im.OS.Version = intern.String(im.OS.Version)
+	im.OS.SELinux = intern.String(im.OS.SELinux)
+	im.OS.FSType = intern.String(im.OS.FSType)
+}
+
+// readBufPool recycles whole-file read buffers across LoadFile calls.
+// LoadJSON never retains the raw bytes (encoding/json copies into fresh
+// strings), so returning the buffer right after decoding is safe.
+var readBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// LoadFile reads and decodes one image snapshot through a pooled read
+// buffer, so a batch scanner loading thousands of files does not allocate
+// one decode buffer per file.
+func LoadFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sysimage: read %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("sysimage: read %s: %w", path, err)
+	}
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	n := int(st.Size())
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	buf := (*bp)[:n]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("sysimage: read %s: %w", path, err)
+	}
+	im, err := LoadJSON(buf)
+	if err != nil {
+		return nil, fmt.Errorf("sysimage: %s: %w", path, err)
+	}
+	return im, nil
+}
+
+// jsonNamesIn lists the "*.json" entries of dir sorted by file name (the
+// deterministic corpus order LoadDir established).
+func jsonNamesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sysimage: read %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadDirStream visits every "*.json" image in dir in LoadDir's sorted
+// order, decoding one image at a time through the pooled reader and
+// passing it to fn. Unlike LoadDir it holds a single image in memory at
+// once, so callers that process images independently (batch checking,
+// filtering, statistics) run in constant memory over corpora of any size.
+// A non-nil error from fn stops the walk and is returned unchanged.
+func LoadDirStream(dir string, fn func(*Image) error) error {
+	names, err := jsonNamesIn(dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		im, err := LoadFile(filepath.Join(dir, n))
+		if err != nil {
+			return err
+		}
+		if err := fn(im); err != nil {
+			return err
+		}
+	}
+	return nil
+}

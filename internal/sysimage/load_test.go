@@ -1,0 +1,81 @@
+package sysimage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestLoadFileMatchesLoadJSON pins the pooled-buffer reader against a
+// plain decode of the same bytes, including across back-to-back calls
+// that recycle the same buffer.
+func TestLoadFileMatchesLoadJSON(t *testing.T) {
+	dir := t.TempDir()
+	a, b := testImage(), testImage()
+	a.ID, b.ID = "img-a", "img-b"
+	b.SetConfig("mysql", "/etc/my.cnf", "[mysqld]\nuser=mysql\n")
+	if err := SaveDir(dir, []*Image{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"img-a", "img-b", "img-a"} {
+		path := filepath.Join(dir, id+".json")
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := LoadJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("LoadFile(%s) differs from LoadJSON of the same bytes", id)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// TestLoadDirStream pins the streaming walk: same images in the same
+// sorted order as LoadDir, and fn errors stop the walk unchanged.
+func TestLoadDirStream(t *testing.T) {
+	dir := t.TempDir()
+	a, b, c := testImage(), testImage(), testImage()
+	a.ID, b.ID, c.ID = "img-c", "img-a", "img-b"
+	if err := SaveDir(dir, []*Image{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	if err := LoadDirStream(dir, func(im *Image) error {
+		seen = append(seen, im.ID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"img-a", "img-b", "img-c"}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("stream order = %v, want %v", seen, want)
+	}
+
+	stop := errors.New("stop")
+	seen = nil
+	err := LoadDirStream(dir, func(im *Image) error {
+		seen = append(seen, im.ID)
+		if len(seen) == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("fn error not propagated: %v", err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("walk did not stop after fn error: %v", seen)
+	}
+}
