@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 smoke bench bench-rules bench-scan bench-check bench-all bench-smoke fuzz fmt
+.PHONY: tier1 tier2 smoke eval-matrix eval-matrix-smoke bench bench-rules bench-scan bench-check bench-all bench-smoke fuzz fmt
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
@@ -24,7 +24,29 @@ smoke:
 		-stats-json $(SMOKE_DIR)/stats.json -trace-out $(SMOKE_DIR)/trace.json >/dev/null
 	grep -q '"version": 2' $(SMOKE_DIR)/stats.json
 	grep -q '"traceEvents"' $(SMOKE_DIR)/trace.json
-	@echo "smoke: telemetry exporters OK"
+	$(GO) run ./cmd/evaluate -matrix -seed 5 -matrix-training 10 -matrix-victims 1 -matrix-per-victim 2 \
+		-matrix-pops apache -matrix-kinds name-typo -matrix-configs plan-default \
+		-matrix-out $(SMOKE_DIR)/matrix.json >/dev/null
+	grep -q '"version": 1' $(SMOKE_DIR)/matrix.json
+	@echo "smoke: telemetry exporters + matrix JSON OK"
+
+# Regenerate the checked-in evaluation matrix: every error class × every
+# app population × every detector configuration at the default seed.
+# Byte-reproducible — commit the refreshed EVAL_matrix.json whenever a
+# change intentionally moves detection quality.
+eval-matrix:
+	$(GO) run ./cmd/evaluate -matrix -seed 1 -matrix-out EVAL_matrix.json
+	grep -q '"version": 1' EVAL_matrix.json
+
+# Small matrix for CI: 2 populations × 3 kinds × 2 configs, then the
+# full-grid regression gate against the checked-in EVAL_matrix.json.
+eval-matrix-smoke:
+	$(GO) run ./cmd/evaluate -matrix -seed 1 -matrix-training 12 -matrix-victims 2 -matrix-per-victim 3 \
+		-matrix-pops apache,mysql -matrix-kinds name-typo,numeric,boolean-flip \
+		-matrix-configs plan-default,baseline -matrix-out EVAL_matrix_smoke.json
+	grep -q '"version": 1' EVAL_matrix_smoke.json
+	$(GO) test -run TestMatrixRegressionGate ./internal/evalmatrix
+	@echo "eval-matrix-smoke: grid + regression gate OK"
 
 bench:
 	$(GO) test -bench=. -benchmem .

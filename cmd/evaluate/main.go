@@ -6,14 +6,18 @@
 //	evaluate              # all tables
 //	evaluate -table 8     # one table (1, 2, 3, 8, 9, 10, 11, 12, 13)
 //	evaluate -seed 42     # different corpus seed
+//	evaluate -matrix      # scenario × detector evaluation matrix only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/eval"
+	"repro/internal/evalmatrix"
+	"repro/internal/inject"
 	"repro/internal/telemetry"
 )
 
@@ -22,6 +26,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	budget := flag.Int("budget", eval.Table3Budget, "frequent-item-set budget for Table 3 (simulated OOM)")
 	ext := flag.Bool("ext", false, "also run the extension studies (env-error injection, LAMP cross-component)")
+	matrix := flag.Bool("matrix", false, "run only the scenario × detector evaluation matrix")
+	matrixOut := flag.String("matrix-out", "", "write the matrix grid JSON to this file")
+	matrixPops := flag.String("matrix-pops", "", "comma-separated population subset for the matrix (default: all)")
+	matrixKinds := flag.String("matrix-kinds", "", "comma-separated error-class subset for the matrix (default: all 9)")
+	matrixConfigs := flag.String("matrix-configs", "", "comma-separated detector-config subset for the matrix (default: all)")
+	matrixTraining := flag.Int("matrix-training", 0, "training images per matrix population (0 = default)")
+	matrixVictims := flag.Int("matrix-victims", 0, "victim images per matrix cell (0 = default)")
+	matrixPerVictim := flag.Int("matrix-per-victim", 0, "injections per matrix victim (0 = default)")
 	obs := &telemetry.Flags{}
 	obs.Register(flag.CommandLine)
 	flag.Parse()
@@ -39,18 +51,69 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*table, *seed, *budget); err != nil {
-		fail(err)
-	}
-	if *ext || *table == 0 {
-		if err := runExtensions(*seed); err != nil {
+	if *matrix {
+		opts := evalmatrix.Options{
+			Seed:        *seed,
+			TrainingN:   *matrixTraining,
+			Victims:     *matrixVictims,
+			PerVictim:   *matrixPerVictim,
+			Populations: splitList(*matrixPops),
+			Configs:     splitList(*matrixConfigs),
+			Telemetry:   obs.Rec,
+		}
+		for _, k := range splitList(*matrixKinds) {
+			opts.Kinds = append(opts.Kinds, inject.Kind(k))
+		}
+		if err := runMatrix(opts, *matrixOut); err != nil {
 			fail(err)
+		}
+	} else {
+		if err := run(*table, *seed, *budget); err != nil {
+			fail(err)
+		}
+		if *ext || *table == 0 {
+			if err := runExtensions(*seed); err != nil {
+				fail(err)
+			}
 		}
 	}
 	if err := obs.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func runMatrix(opts evalmatrix.Options, outPath string) error {
+	grid, err := evalmatrix.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(evalmatrix.Render(grid))
+	if outPath == "" {
+		return nil
+	}
+	data, err := grid.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("evaluate: write matrix grid: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "evaluate: wrote %s (%d cells)\n", outPath, len(grid.Cells))
+	return nil
 }
 
 func runExtensions(seed int64) error {

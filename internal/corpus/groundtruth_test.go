@@ -1,0 +1,191 @@
+package corpus
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/confparse"
+	"repro/internal/conftypes"
+	"repro/internal/sysimage"
+)
+
+// TestTargetPopulationGroundTruthConsistency is the property test behind
+// the evaluation matrix's denominator: across populations and seeds,
+// every Latent the generators record must be verifiable against the
+// generated images — the image exists, its configuration still parses,
+// and the category-specific defect (wrong permission, dangling path,
+// violated ordering) actually holds on the image. A Latent that does not
+// reproduce on its own image would silently deflate every detector's
+// measured recall.
+func TestTargetPopulationGroundTruthConsistency(t *testing.T) {
+	type popCase struct {
+		name   string
+		gen    func(int64) (*TargetPopulation, error)
+		images int
+		mix    categoryMix
+		spread int
+	}
+	cases := []popCase{
+		{"ec2", EC2Targets, 120, EC2Mix, 25},
+		{"pc", PrivateCloudTargets, 300, PrivateCloudMix, 22},
+	}
+	for _, pc := range cases {
+		for _, seed := range []int64{1, 2, 7, 13, 42} {
+			pop, err := pc.gen(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pc.name, seed, err)
+			}
+			if len(pop.Images) != pc.images {
+				t.Errorf("%s seed %d: %d images, want %d", pc.name, seed, len(pop.Images), pc.images)
+			}
+			wantTruth := pc.mix.filePath + pc.mix.permission + pc.mix.valueCompare
+			if len(pop.Truth) != wantTruth {
+				t.Errorf("%s seed %d: %d latents, want %d", pc.name, seed, len(pop.Truth), wantTruth)
+			}
+			byID := ByID(pop.Images)
+			counts := map[string]int{}
+			affected := map[string]bool{}
+			for _, l := range pop.Truth {
+				counts[l.Category]++
+				affected[l.ImageID] = true
+				img := byID[l.ImageID]
+				if img == nil {
+					t.Errorf("%s seed %d: latent %v names unknown image", pc.name, seed, l)
+					continue
+				}
+				app, _, ok := strings.Cut(l.Attr, ":")
+				if !ok {
+					t.Errorf("%s seed %d: latent attr %q has no app prefix", pc.name, seed, l.Attr)
+					continue
+				}
+				cf := img.ConfigFor(app)
+				if cf == nil {
+					t.Errorf("%s seed %d: image %s has no %s config for latent %v", pc.name, seed, img.ID, app, l)
+					continue
+				}
+				if _, err := confparse.Parse(app, cf.Path, cf.Content); err != nil {
+					t.Errorf("%s seed %d: image %s %s config unparsable after planting: %v", pc.name, seed, img.ID, app, err)
+					continue
+				}
+				verifyLatent(t, pc.name, seed, img, l)
+			}
+			if counts["FilePath"] != pc.mix.filePath || counts["Permission"] != pc.mix.permission || counts["ValueCompare"] != pc.mix.valueCompare {
+				t.Errorf("%s seed %d: category counts %v, want %+v", pc.name, seed, counts, pc.mix)
+			}
+			if len(affected) > pc.spread {
+				t.Errorf("%s seed %d: %d affected images exceed spread %d", pc.name, seed, len(affected), pc.spread)
+			}
+		}
+	}
+}
+
+// verifyLatent re-scans the image and asserts the planted defect holds.
+func verifyLatent(t *testing.T, pop string, seed int64, img *sysimage.Image, l Latent) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf("%s seed %d image %s latent %q: "+format, append([]any{pop, seed, img.ID, l.Attr}, args...)...)
+	}
+	switch l.Category {
+	case "Permission":
+		switch l.Attr {
+		case "mysql:mysqld/log-error":
+			path, ok := findConfValue(img, "mysql", "log-error")
+			if !ok {
+				fail("log-error entry missing")
+				return
+			}
+			fm := img.Lookup(path)
+			if fm == nil || fm.Mode != 0o644 {
+				fail("log file %s not world-readable (%v)", path, fm)
+			}
+		case "apache:Alias/arg2":
+			cf := img.ConfigFor("apache")
+			path, err := confValueAt(cf.Content, "apache", cf.Path, "Alias", 1)
+			if err != nil {
+				fail("Alias arg2 missing: %v", err)
+				return
+			}
+			fm := img.Lookup(path)
+			if fm == nil || fm.Owner != "root" || fm.Mode != 0o755 {
+				fail("alias target %s not root-owned 0755 (%v)", path, fm)
+			}
+		case "php:Session/session.save_path":
+			path, ok := findConfValue(img, "php", "session.save_path")
+			if !ok {
+				fail("session.save_path entry missing")
+				return
+			}
+			fm := img.Lookup(path)
+			if fm == nil || fm.Mode != 0o700 || fm.Group != "root" {
+				fail("session dir %s not 0700 root-group (%v)", path, fm)
+			}
+		default:
+			fail("unknown permission attr")
+		}
+	case "FilePath":
+		var app, key string
+		switch l.Attr {
+		case "php:PHP/extension_dir":
+			app, key = "php", "extension_dir"
+		case "mysql:mysqld/tmpdir":
+			app, key = "mysql", "tmpdir"
+		case "apache:ErrorLog":
+			app, key = "apache", "ErrorLog"
+		default:
+			fail("unknown file-path attr")
+			return
+		}
+		path, ok := findConfValue(img, app, key)
+		if !ok {
+			fail("%s entry missing", key)
+			return
+		}
+		if fm := img.Lookup(path); fm != nil {
+			fail("configured path %s exists (%v) — defect did not take", path, fm)
+		}
+	case "ValueCompare":
+		switch l.Attr {
+		case "php:PHP/upload_max_filesize":
+			upload, ok1 := sizeOf(img, "php", "upload_max_filesize")
+			post, ok2 := sizeOf(img, "php", "post_max_size")
+			if !ok1 || !ok2 || upload <= post {
+				fail("upload_max_filesize %d not above post_max_size %d", upload, post)
+			}
+		case "apache:MinSpareServers":
+			minSpare, ok1 := intOf(img, "apache", "MinSpareServers")
+			maxSpare, ok2 := intOf(img, "apache", "MaxSpareServers")
+			if !ok1 || !ok2 || minSpare <= maxSpare {
+				fail("MinSpareServers %d not above MaxSpareServers %d", minSpare, maxSpare)
+			}
+		case "mysql:mysqld/max_allowed_packet":
+			packet, ok1 := sizeOf(img, "mysql", "max_allowed_packet")
+			netBuf, ok2 := sizeOf(img, "mysql", "net_buffer_length")
+			if !ok1 || !ok2 || packet >= netBuf {
+				fail("max_allowed_packet %d not below net_buffer_length %d", packet, netBuf)
+			}
+		default:
+			fail("unknown value-compare attr")
+		}
+	default:
+		fail("unknown category %q", l.Category)
+	}
+}
+
+func sizeOf(img *sysimage.Image, app, key string) (int64, bool) {
+	v, ok := findConfValue(img, app, key)
+	if !ok {
+		return 0, false
+	}
+	return conftypes.ParseSize(v)
+}
+
+func intOf(img *sysimage.Image, app, key string) (int, bool) {
+	v, ok := findConfValue(img, app, key)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	return n, err == nil
+}

@@ -280,7 +280,7 @@ func (s *scratch) slot() []string {
 	}
 	n := len(s.arena)
 	s.arena = s.arena[: n+1 : cap(s.arena)]
-	return s.arena[n:n:1+n]
+	return s.arena[n : n : 1+n]
 }
 
 // Declare implements assemble.TargetSink.

@@ -1,0 +1,51 @@
+package evalmatrix
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/inject"
+)
+
+// TestGridByteDeterminism runs the full small grid twice with the same
+// seed and asserts byte-identical JSON. Cells compute on a parallel
+// worker pool, so under `go test -race` this both exercises the shared
+// profile/victim structures for races and pins the per-cell seed
+// derivation: any scheduling-dependent or map-order-dependent output
+// would diverge here.
+func TestGridByteDeterminism(t *testing.T) {
+	opts := Options{
+		Seed:        11,
+		TrainingN:   12,
+		Victims:     2,
+		PerVictim:   3,
+		Populations: []string{"apache", "lamp"},
+		Configs:     []string{"plan-default", "legacy-default", "baseline-env"},
+		Kinds: []inject.Kind{
+			inject.KindNameTypo, inject.KindOmission, inject.KindPathBreak,
+			inject.KindSectionMove,
+		},
+	}
+	first, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := first.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run with a different worker count: the grid must not depend
+	// on pool geometry.
+	opts.Workers = 2
+	second, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed grid runs differ:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}

@@ -1,0 +1,50 @@
+package evalmatrix
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/inject"
+)
+
+// gridPath is the checked-in grid at the repository root.
+const gridPath = "../../EVAL_matrix.json"
+
+// TestMatrixRegressionGate is the detection-quality gate: it loads the
+// checked-in EVAL_matrix.json, recomputes the exact same grid (the
+// options ride inside the document), and fails if any cell's recall
+// dropped — or its false-positive rate rose — beyond the gate tolerances.
+// Same-seed same-code runs are byte-identical, so a red gate means a code
+// change altered detection quality; if the change is intentional, refresh
+// the grid with `make eval-matrix` and commit it alongside the change.
+func TestMatrixRegressionGate(t *testing.T) {
+	data, err := os.ReadFile(gridPath)
+	if err != nil {
+		t.Fatalf("read checked-in grid (regenerate with `make eval-matrix`): %v", err)
+	}
+	base, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]inject.Kind, len(base.Kinds))
+	for i, k := range base.Kinds {
+		kinds[i] = inject.Kind(k)
+	}
+	fresh, err := Run(Options{
+		Seed:        base.Seed,
+		TrainingN:   base.TrainingN,
+		Victims:     base.Victims,
+		PerVictim:   base.PerVictim,
+		Populations: base.Populations,
+		Configs:     base.Configs,
+		Kinds:       kinds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := CompareForRegressions(base, fresh); len(violations) > 0 {
+		t.Errorf("detection quality regressed in %d cell(s) vs checked-in %s:\n  %s\n(if intentional, refresh with `make eval-matrix` and commit the new grid)",
+			len(violations), gridPath, strings.Join(violations, "\n  "))
+	}
+}

@@ -1,0 +1,164 @@
+package evalmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GridVersion is the schema version stamped into every exported grid
+// document. Bump it when cell semantics or the JSON layout change, and
+// regenerate the checked-in EVAL_matrix.json (`make eval-matrix`).
+const GridVersion = 1
+
+// Cell is one grid cell: the detection quality of one detector
+// configuration against one error class on one application population.
+//
+// Counting model: every victim image carries Injected ground-truth errors
+// of the cell's kind. An injection is Detected when at least one finding
+// refers to its entry (Injection.Matches); a finding is Matched when it
+// refers to at least one injection. Precision = Matched/Findings (the
+// fraction of the report an operator should trust), Recall =
+// Detected/Injected (the fraction of planted errors surfaced), F1 their
+// harmonic mean. Cells where the kind is inapplicable to the population's
+// configuration (e.g. size-jump on a file without size-typed values)
+// record Injected == 0 and zero rates.
+type Cell struct {
+	Population string  `json:"population"`
+	Config     string  `json:"config"`
+	Kind       string  `json:"kind"`
+	Victims    int     `json:"victims"`
+	Injected   int     `json:"injected"`
+	Detected   int     `json:"detected"`
+	Findings   int     `json:"findings"`
+	Matched    int     `json:"matched"`
+	Precision  float64 `json:"precision"`
+	Recall     float64 `json:"recall"`
+	F1         float64 `json:"f1"`
+}
+
+// Key identifies a cell across grid versions.
+func (c Cell) Key() string { return c.Population + "|" + c.Config + "|" + c.Kind }
+
+// FPRate is the fraction of findings not explained by any injection —
+// the false-positive side of the regression gate. A cell with no
+// findings has a zero false-positive rate.
+func (c Cell) FPRate() float64 {
+	if c.Findings == 0 {
+		return 0
+	}
+	return round4(float64(c.Findings-c.Matched) / float64(c.Findings))
+}
+
+// Grid is the complete evaluation matrix with the options that produced
+// it, so a regression gate can re-run the exact same grid.
+type Grid struct {
+	Version     int      `json:"version"`
+	Seed        int64    `json:"seed"`
+	TrainingN   int      `json:"trainingN"`
+	Victims     int      `json:"victims"`
+	PerVictim   int      `json:"perVictim"`
+	Populations []string `json:"populations"`
+	Configs     []string `json:"configs"`
+	Kinds       []string `json:"kinds"`
+	Cells       []Cell   `json:"cells"`
+}
+
+// JSON serializes the grid as the versioned, indented, newline-terminated
+// document `make eval-matrix` checks in. Cells are already in canonical
+// (population, config, kind) axis order and all rates are rounded to four
+// decimals, so equal grids serialize byte-identically.
+func (g *Grid) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a grid document produced by JSON.
+func Decode(data []byte) (*Grid, error) {
+	var g Grid
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("evalmatrix: decode grid: %w", err)
+	}
+	if g.Version != GridVersion {
+		return nil, fmt.Errorf("evalmatrix: grid version %d, want %d (regenerate with `make eval-matrix`)", g.Version, GridVersion)
+	}
+	return &g, nil
+}
+
+// round4 rounds a rate to four decimals so the JSON grid is stable and
+// diff-friendly.
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+
+// Render prints the grid as one text table per (population, config)
+// block, kinds as rows.
+func Render(g *Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Evaluation matrix: precision/recall by error class (seed %d, %d training images, %d victims x <=%d injections per cell)\n",
+		g.Seed, g.TrainingN, g.Victims, g.PerVictim)
+	byKey := make(map[string]Cell, len(g.Cells))
+	for _, c := range g.Cells {
+		byKey[c.Key()] = c
+	}
+	for _, pop := range g.Populations {
+		for _, cfg := range g.Configs {
+			fmt.Fprintf(&b, "\npopulation=%s config=%s\n", pop, cfg)
+			fmt.Fprintf(&b, "  %-14s %4s %4s %4s %4s %10s %7s %7s\n",
+				"kind", "inj", "det", "fnd", "mat", "precision", "recall", "f1")
+			for _, kind := range g.Kinds {
+				c, ok := byKey[pop+"|"+cfg+"|"+kind]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(&b, "  %-14s %4d %4d %4d %4d %9.0f%% %6.0f%% %7.2f\n",
+					c.Kind, c.Injected, c.Detected, c.Findings, c.Matched,
+					c.Precision*100, c.Recall*100, c.F1)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Regression-gate tolerances: a fresh grid may lose this much recall (or
+// gain this much false-positive rate) per cell against the checked-in
+// grid before the gate fails. Same-seed same-code runs are byte-identical,
+// so the slack only absorbs small drift from intentional code changes;
+// larger intentional changes regenerate the grid (`make eval-matrix`).
+const (
+	GateRecallTolerance = 0.10
+	GateFPRateTolerance = 0.10
+)
+
+// CompareForRegressions checks a freshly computed grid against the
+// checked-in base and returns one message per violated cell: recall
+// dropped more than GateRecallTolerance, false-positive rate rose more
+// than GateFPRateTolerance, or a base cell disappeared. Messages are
+// sorted for stable test output; an empty slice means the gate passes.
+func CompareForRegressions(base, fresh *Grid) []string {
+	freshByKey := make(map[string]Cell, len(fresh.Cells))
+	for _, c := range fresh.Cells {
+		freshByKey[c.Key()] = c
+	}
+	var violations []string
+	for _, old := range base.Cells {
+		now, ok := freshByKey[old.Key()]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: cell missing from fresh grid", old.Key()))
+			continue
+		}
+		if now.Recall < old.Recall-GateRecallTolerance {
+			violations = append(violations, fmt.Sprintf("%s: recall %.4f -> %.4f (dropped beyond %.2f tolerance)",
+				old.Key(), old.Recall, now.Recall, GateRecallTolerance))
+		}
+		if now.FPRate() > old.FPRate()+GateFPRateTolerance {
+			violations = append(violations, fmt.Sprintf("%s: false-positive rate %.4f -> %.4f (rose beyond %.2f tolerance)",
+				old.Key(), old.FPRate(), now.FPRate(), GateFPRateTolerance))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}

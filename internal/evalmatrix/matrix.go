@@ -1,0 +1,481 @@
+// Package evalmatrix runs the scenario × detector evaluation matrix: every
+// injection error class × every application population × a set of named
+// detector configurations, each cell scored as precision/recall/F1 against
+// the injector's ground truth. The grid exports as a versioned JSON
+// document (EVAL_matrix.json) plus a rendered text table, and a regression
+// gate (CompareForRegressions) makes detection-quality drift as CI-visible
+// as the perf trajectory in BENCH_*.json.
+//
+// Determinism: one profile is trained per population from the root seed
+// and shared read-only across all of its cells (exactly how a compiled
+// detect.Plan is shared by scan workers); victim images and their
+// injections derive from CellSeed(root, population, kind), so every
+// detector configuration is graded on identical inputs and the whole grid
+// is byte-reproducible regardless of worker scheduling.
+package evalmatrix
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/assemble"
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/inject"
+	"repro/internal/rules"
+	"repro/internal/sysimage"
+	"repro/internal/telemetry"
+	"repro/internal/templates"
+)
+
+// Grid defaults: small enough that the regression gate re-runs the full
+// checked-in grid inside the ordinary test suite, large enough that every
+// population learns real rules.
+const (
+	DefaultTrainingN = 40
+	DefaultVictims   = 3
+	DefaultPerVictim = 4
+)
+
+// DefaultPopulations are the grid's application populations: the three
+// per-app corpora of the paper's evaluation plus the LAMP composite from
+// the cross-component extension.
+var DefaultPopulations = []string{"apache", "mysql", "php", "lamp"}
+
+// Detector engines a configuration can select.
+const (
+	EnginePlan        = "plan"         // compiled detect.Plan (the production scan path)
+	EngineLegacy      = "legacy"       // detect.Detector.Check (the reference implementation)
+	EngineBaseline    = "baseline"     // value-comparison baseline (PeerPressure-style)
+	EngineBaselineEnv = "baseline-env" // baseline over the env-augmented attribute set
+)
+
+// Config is one named detector configuration: which engine checks the
+// victims and, for the EnCore engines, the rule-inference thresholds the
+// shared profile is specialized with.
+type Config struct {
+	Name   string
+	Engine string
+	Rules  rules.Config
+}
+
+// DefaultConfigs returns the named configurations of the full grid: both
+// EnCore engines at the paper's thresholds (their cells must agree —
+// plan/legacy equivalence is visible right in the grid), two threshold
+// sweep points, and the two comparison baselines of Table 8.
+func DefaultConfigs() []Config {
+	def := rules.DefaultConfig()
+	support := def
+	support.MinSupportFraction = 0.50
+	entropy := def
+	entropy.UseEntropyFilter = false
+	return []Config{
+		{Name: "plan-default", Engine: EnginePlan, Rules: def},
+		{Name: "legacy-default", Engine: EngineLegacy, Rules: def},
+		{Name: "plan-support-50", Engine: EnginePlan, Rules: support},
+		{Name: "plan-entropy-off", Engine: EnginePlan, Rules: entropy},
+		{Name: "baseline", Engine: EngineBaseline},
+		{Name: "baseline-env", Engine: EngineBaselineEnv},
+	}
+}
+
+// configsByName resolves a name filter against DefaultConfigs (nil or
+// empty selects all).
+func configsByName(names []string) ([]Config, error) {
+	all := DefaultConfigs()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Config, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	out := make([]Config, 0, len(names))
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("evalmatrix: unknown config %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// population describes one grid population: how its training corpus and
+// victims are generated, and which apps injections target (victims
+// rotate through the list, so the LAMP composite spreads error classes
+// across all three components).
+type population struct {
+	name string
+	apps []string
+}
+
+func populationByName(name string) (population, error) {
+	switch name {
+	case "apache", "mysql", "php":
+		return population{name: name, apps: []string{name}}, nil
+	case "lamp":
+		return population{name: "lamp", apps: []string{"apache", "mysql", "php"}}, nil
+	}
+	return population{}, fmt.Errorf("evalmatrix: unknown population %q", name)
+}
+
+func (p population) build(n int, seed int64) ([]*sysimage.Image, error) {
+	if p.name == "lamp" {
+		return corpus.LAMPTraining(n, seed)
+	}
+	return corpus.Training(p.name, n, seed)
+}
+
+// Options parameterize a grid run. Zero values select the defaults; the
+// axis filters (Populations, Configs, Kinds) select subsets for smoke
+// grids.
+type Options struct {
+	Seed        int64
+	TrainingN   int
+	Victims     int
+	PerVictim   int
+	Workers     int
+	Populations []string
+	Configs     []string
+	Kinds       []inject.Kind
+	Telemetry   *telemetry.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.TrainingN <= 0 {
+		o.TrainingN = DefaultTrainingN
+	}
+	if o.Victims <= 0 {
+		o.Victims = DefaultVictims
+	}
+	if o.PerVictim <= 0 {
+		o.PerVictim = DefaultPerVictim
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if len(o.Populations) == 0 {
+		o.Populations = DefaultPopulations
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = inject.Kinds
+	}
+	return o
+}
+
+// CellSeed derives the deterministic seed for a (population, kind) victim
+// set from the root seed. The configuration deliberately does not enter
+// the derivation: every detector configuration is graded on the same
+// victims carrying the same injections, so config columns compare
+// apples-to-apples. The derivation is pinned by TestCellSeedDerivation —
+// changing it changes every cell's inputs and requires regenerating the
+// checked-in grid.
+func CellSeed(root int64, pop string, kind inject.Kind) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(pop))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	return root*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF) ^ int64(h.Sum64()>>1)
+}
+
+// instance is one (population, config) detector specialization sharing
+// the population's trained dataset read-only.
+type instance struct {
+	cfg       Config
+	ds        *dataset.Dataset
+	rules     []*rules.Rule
+	templates []*templates.Template
+	plan      *detect.Plan
+}
+
+// findings checks one victim and returns the flagged attribute names.
+// Plan.Check is share-safe; the legacy and baseline engines get a fresh
+// (cheap) detector per call over the shared read-only dataset.
+func (ins *instance) findings(img *sysimage.Image) ([]string, error) {
+	switch ins.cfg.Engine {
+	case EnginePlan:
+		rep, err := ins.plan.Check(img)
+		if err != nil {
+			return nil, err
+		}
+		return warningAttrs(rep), nil
+	case EngineLegacy:
+		dt := detect.New(ins.ds, ins.rules)
+		dt.Templates = ins.templates
+		rep, err := dt.Check(img)
+		if err != nil {
+			return nil, err
+		}
+		return warningAttrs(rep), nil
+	case EngineBaseline, EngineBaselineEnv:
+		bl := baseline.NewBaseline(ins.ds)
+		if ins.cfg.Engine == EngineBaselineEnv {
+			bl = baseline.NewBaselineEnv(ins.ds)
+		}
+		fs, err := bl.Check(img)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]string, len(fs))
+		for i, f := range fs {
+			attrs[i] = f.Attr
+		}
+		return attrs, nil
+	}
+	return nil, fmt.Errorf("evalmatrix: unknown engine %q", ins.cfg.Engine)
+}
+
+func warningAttrs(rep *detect.Report) []string {
+	attrs := make([]string, len(rep.Warnings))
+	for i, w := range rep.Warnings {
+		attrs[i] = w.Attr
+	}
+	return attrs
+}
+
+// victim is one mutated target image with its injection ground truth.
+type victim struct {
+	img  *sysimage.Image
+	injs []inject.Injection
+}
+
+// buildVictims generates the (population, kind) victim set: fresh images
+// from the cell seed, each carrying up to PerVictim injections of the
+// kind. Victims where the kind is inapplicable (zero injections) are
+// dropped so they neither pad the denominator nor pollute precision with
+// a clean image's noise floor.
+func buildVictims(pop population, kind inject.Kind, opts Options) ([]victim, error) {
+	cs := CellSeed(opts.Seed, pop.name, kind)
+	var out []victim
+	for v := 0; v < opts.Victims; v++ {
+		genSeed := cs + int64(v)*1_000_003
+		imgs, err := pop.build(1, genSeed)
+		if err != nil {
+			return nil, err
+		}
+		img := imgs[0]
+		img.ID = fmt.Sprintf("%s-%s-victim-%d", pop.name, kind, v)
+		app := pop.apps[v%len(pop.apps)]
+		injs, err := inject.New(genSeed+17).InjectKind(img, app, kind, opts.PerVictim)
+		if err != nil {
+			return nil, err
+		}
+		if len(injs) == 0 {
+			continue
+		}
+		out = append(out, victim{img: img, injs: injs})
+	}
+	return out, nil
+}
+
+// Run computes the grid. Populations train concurrently, then all cells
+// compute on a bounded worker pool; results land in axis order, so the
+// output is independent of scheduling.
+func Run(opts Options) (*Grid, error) {
+	opts = opts.withDefaults()
+	rec := opts.Telemetry
+	root := rec.StartSpan("evalmatrix.run")
+	defer root.End()
+
+	pops := make([]population, len(opts.Populations))
+	for i, name := range opts.Populations {
+		p, err := populationByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pops[i] = p
+	}
+	configs, err := configsByName(opts.Configs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: per population, train once (corpus + assembly) and
+	// specialize per config (rule inference at the config's thresholds,
+	// plan compilation). Populations run concurrently; within one
+	// population the config specializations run serially because they
+	// share the dataset's lazily built columnar index. Configs with
+	// identical thresholds share one inference run.
+	instances := make([][]*instance, len(pops))
+	victims := make([][][]victim, len(pops)) // [pop][kind]
+	trainErrs := make([]error, len(pops))
+	var wg sync.WaitGroup
+	for pi := range pops {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			trainErrs[pi] = func() error {
+				pop := pops[pi]
+				sp := root.StartChild("evalmatrix.train", telemetry.A("population", pop.name))
+				defer sp.End()
+				images, err := pop.build(opts.TrainingN, opts.Seed)
+				if err != nil {
+					return err
+				}
+				asm := assemble.New()
+				asm.Telemetry = rec
+				ds, err := asm.AssembleTraining(images)
+				if err != nil {
+					return err
+				}
+				byID := corpus.ByID(images)
+				type inferred struct {
+					rules     []*rules.Rule
+					templates []*templates.Template
+				}
+				cache := map[rules.Config]inferred{}
+				instances[pi] = make([]*instance, len(configs))
+				for ci, cfg := range configs {
+					ins := &instance{cfg: cfg, ds: ds}
+					if cfg.Engine == EnginePlan || cfg.Engine == EngineLegacy {
+						inf, ok := cache[cfg.Rules]
+						if !ok {
+							eng := rules.NewEngine()
+							eng.Config = cfg.Rules
+							eng.Telemetry = rec
+							inf = inferred{rules: eng.Infer(ds, byID), templates: eng.Templates}
+							cache[cfg.Rules] = inf
+						}
+						ins.rules, ins.templates = inf.rules, inf.templates
+						if cfg.Engine == EnginePlan {
+							dt := detect.New(ds, ins.rules)
+							dt.Templates = ins.templates
+							ins.plan = dt.Compile()
+						}
+					}
+					instances[pi][ci] = ins
+				}
+				victims[pi] = make([][]victim, len(opts.Kinds))
+				for ki, kind := range opts.Kinds {
+					vs, err := buildVictims(pop, kind, opts)
+					if err != nil {
+						return err
+					}
+					victims[pi][ki] = vs
+					for _, v := range vs {
+						rec.Add(telemetry.CounterMatrixInjections, int64(len(v.injs)))
+					}
+				}
+				return nil
+			}()
+		}(pi)
+	}
+	wg.Wait()
+	for _, err := range trainErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: all cells on a bounded worker pool. Cells only read the
+	// shared instances and victim sets; results are written by index, so
+	// the grid's cell order is the axis order, not completion order.
+	type cellJob struct{ pi, ci, ki int }
+	jobs := make([]cellJob, 0, len(pops)*len(configs)*len(opts.Kinds))
+	for pi := range pops {
+		for ci := range configs {
+			for ki := range opts.Kinds {
+				jobs = append(jobs, cellJob{pi, ci, ki})
+			}
+		}
+	}
+	cells := make([]Cell, len(jobs))
+	cellErrs := make([]error, len(jobs))
+	next := make(chan int, len(jobs))
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	workers := opts.Workers
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				pop, cfg, kind := pops[j.pi], configs[j.ci], opts.Kinds[j.ki]
+				sp := root.StartChild("evalmatrix.cell",
+					telemetry.A("population", pop.name),
+					telemetry.A("config", cfg.Name),
+					telemetry.A("kind", string(kind)))
+				cells[i], cellErrs[i] = computeCell(pop.name, instances[j.pi][j.ci], kind, victims[j.pi][j.ki])
+				rec.Add(telemetry.CounterMatrixCells, 1)
+				rec.Add(telemetry.CounterMatrixFindings, int64(cells[i].Findings))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	kinds := make([]string, len(opts.Kinds))
+	for i, k := range opts.Kinds {
+		kinds[i] = string(k)
+	}
+	configNames := make([]string, len(configs))
+	for i, c := range configs {
+		configNames[i] = c.Name
+	}
+	return &Grid{
+		Version:     GridVersion,
+		Seed:        opts.Seed,
+		TrainingN:   opts.TrainingN,
+		Victims:     opts.Victims,
+		PerVictim:   opts.PerVictim,
+		Populations: opts.Populations,
+		Configs:     configNames,
+		Kinds:       kinds,
+		Cells:       cells,
+	}, nil
+}
+
+// computeCell scores one configuration against one victim set.
+func computeCell(pop string, ins *instance, kind inject.Kind, vs []victim) (Cell, error) {
+	c := Cell{Population: pop, Config: ins.cfg.Name, Kind: string(kind), Victims: len(vs)}
+	for _, v := range vs {
+		attrs, err := ins.findings(v.img)
+		if err != nil {
+			return c, fmt.Errorf("evalmatrix: %s/%s/%s on %s: %w", pop, ins.cfg.Name, kind, v.img.ID, err)
+		}
+		c.Injected += len(v.injs)
+		c.Findings += len(attrs)
+		for _, inj := range v.injs {
+			for _, attr := range attrs {
+				if inj.Matches(attr) {
+					c.Detected++
+					break
+				}
+			}
+		}
+		for _, attr := range attrs {
+			for _, inj := range v.injs {
+				if inj.Matches(attr) {
+					c.Matched++
+					break
+				}
+			}
+		}
+	}
+	if c.Findings > 0 {
+		c.Precision = round4(float64(c.Matched) / float64(c.Findings))
+	}
+	if c.Injected > 0 {
+		c.Recall = round4(float64(c.Detected) / float64(c.Injected))
+	}
+	if c.Precision+c.Recall > 0 {
+		c.F1 = round4(2 * c.Precision * c.Recall / (c.Precision + c.Recall))
+	}
+	return c, nil
+}

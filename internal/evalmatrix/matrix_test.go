@@ -1,0 +1,218 @@
+package evalmatrix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/telemetry"
+)
+
+// smallOpts is the smoke-grid shape used across tests: 2 populations × 3
+// kinds × 2 configs, small corpora.
+func smallOpts(seed int64) Options {
+	return Options{
+		Seed:        seed,
+		TrainingN:   12,
+		Victims:     2,
+		PerVictim:   3,
+		Populations: []string{"apache", "mysql"},
+		Configs:     []string{"plan-default", "baseline"},
+		Kinds:       []inject.Kind{inject.KindNameTypo, inject.KindNumeric, inject.KindPathBreak},
+	}
+}
+
+// TestCellSeedDerivation pins the per-cell seed derivation: changing it
+// silently changes every cell's victims and invalidates the checked-in
+// grid, so it must not drift by accident.
+func TestCellSeedDerivation(t *testing.T) {
+	pins := []struct {
+		root int64
+		pop  string
+		kind inject.Kind
+		want int64
+	}{
+		{1, "apache", inject.KindNameTypo, 6246555478203132742},
+		{1, "lamp", inject.KindSectionMove, 5514037411912330882},
+		{42, "apache", inject.KindNameTypo, -4783182572179731423},
+		{42, "lamp", inject.KindSectionMove, -6364912180842886683},
+	}
+	for _, p := range pins {
+		if got := CellSeed(p.root, p.pop, p.kind); got != p.want {
+			t.Errorf("CellSeed(%d, %q, %q) = %d, want %d", p.root, p.pop, p.kind, got, p.want)
+		}
+	}
+	// Configs must not affect the seed — only (root, population, kind) do.
+	if CellSeed(1, "apache", inject.KindNameTypo) == CellSeed(1, "apache", inject.KindNumeric) {
+		t.Error("different kinds produced the same cell seed")
+	}
+	if CellSeed(1, "apache", inject.KindNameTypo) == CellSeed(1, "mysql", inject.KindNameTypo) {
+		t.Error("different populations produced the same cell seed")
+	}
+	if CellSeed(1, "apache", inject.KindNameTypo) == CellSeed(2, "apache", inject.KindNameTypo) {
+		t.Error("different roots produced the same cell seed")
+	}
+}
+
+// TestSmallGridShape runs the smoke grid and checks the structural
+// invariants every grid must satisfy.
+func TestSmallGridShape(t *testing.T) {
+	rec := telemetry.New()
+	opts := smallOpts(1)
+	opts.Telemetry = rec
+	grid, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Version != GridVersion {
+		t.Errorf("grid version %d, want %d", grid.Version, GridVersion)
+	}
+	want := len(opts.Populations) * len(opts.Configs) * len(opts.Kinds)
+	if len(grid.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(grid.Cells), want)
+	}
+	// Cells arrive in canonical axis order regardless of scheduling.
+	i := 0
+	for _, pop := range grid.Populations {
+		for _, cfg := range grid.Configs {
+			for _, kind := range grid.Kinds {
+				c := grid.Cells[i]
+				if c.Population != pop || c.Config != cfg || c.Kind != kind {
+					t.Fatalf("cell %d is %s, want %s|%s|%s", i, c.Key(), pop, cfg, kind)
+				}
+				i++
+			}
+		}
+	}
+	for _, c := range grid.Cells {
+		if c.Detected > c.Injected {
+			t.Errorf("%s: detected %d > injected %d", c.Key(), c.Detected, c.Injected)
+		}
+		if c.Matched > c.Findings {
+			t.Errorf("%s: matched %d > findings %d", c.Key(), c.Matched, c.Findings)
+		}
+		if c.Precision < 0 || c.Precision > 1 || c.Recall < 0 || c.Recall > 1 || c.F1 < 0 || c.F1 > 1 {
+			t.Errorf("%s: rates out of range: %+v", c.Key(), c)
+		}
+	}
+	// The matrix must detect *something* on the EnCore config — a grid of
+	// zeros means the harness is wired wrong.
+	total := 0
+	for _, c := range grid.Cells {
+		if c.Config == "plan-default" {
+			total += c.Detected
+		}
+	}
+	if total == 0 {
+		t.Error("plan-default detected nothing across the whole smoke grid")
+	}
+	if rec.Counter(telemetry.CounterMatrixCells) != int64(want) {
+		t.Errorf("matrix cell counter = %d, want %d", rec.Counter(telemetry.CounterMatrixCells), want)
+	}
+	if rec.Counter(telemetry.CounterMatrixInjections) == 0 {
+		t.Error("matrix injection counter never advanced")
+	}
+}
+
+// TestPlanLegacyCellEquivalence asserts the compiled plan and the legacy
+// detector produce identical cells at identical thresholds — the
+// report-equivalence property surfaced at grid level.
+func TestPlanLegacyCellEquivalence(t *testing.T) {
+	opts := smallOpts(7)
+	opts.Configs = []string{"plan-default", "legacy-default"}
+	grid, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]Cell)
+	for _, c := range grid.Cells {
+		byKey[c.Key()] = c
+	}
+	for _, c := range grid.Cells {
+		if c.Config != "plan-default" {
+			continue
+		}
+		o := byKey[c.Population+"|legacy-default|"+c.Kind]
+		if c.Injected != o.Injected || c.Detected != o.Detected || c.Findings != o.Findings || c.Matched != o.Matched {
+			t.Errorf("plan/legacy cells diverge for %s|%s: %+v vs %+v", c.Population, c.Kind, c, o)
+		}
+	}
+}
+
+// TestUnknownAxes checks that bad axis filters fail loudly instead of
+// producing an empty grid.
+func TestUnknownAxes(t *testing.T) {
+	if _, err := Run(Options{Populations: []string{"nginx"}}); err == nil || !strings.Contains(err.Error(), "unknown population") {
+		t.Errorf("unknown population: got err %v", err)
+	}
+	if _, err := Run(Options{Configs: []string{"nope"}}); err == nil || !strings.Contains(err.Error(), "unknown config") {
+		t.Errorf("unknown config: got err %v", err)
+	}
+}
+
+// TestGridJSONRoundTrip pins the JSON codec: encode → decode preserves
+// the grid, and a version mismatch is rejected with a regeneration hint.
+func TestGridJSONRoundTrip(t *testing.T) {
+	grid, err := Run(smallOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(grid.Cells) || back.Seed != grid.Seed || back.TrainingN != grid.TrainingN {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, grid)
+	}
+	for i := range grid.Cells {
+		if back.Cells[i] != grid.Cells[i] {
+			t.Errorf("cell %d round-trip mismatch: %+v vs %+v", i, back.Cells[i], grid.Cells[i])
+		}
+	}
+	bad := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if _, err := Decode([]byte(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch: got err %v", err)
+	}
+}
+
+// TestCompareForRegressions exercises the gate logic on fabricated grids.
+func TestCompareForRegressions(t *testing.T) {
+	base := &Grid{Cells: []Cell{
+		{Population: "apache", Config: "plan-default", Kind: "name-typo", Injected: 10, Detected: 9, Findings: 10, Matched: 9, Recall: 0.9, Precision: 0.9},
+		{Population: "apache", Config: "baseline", Kind: "name-typo", Injected: 10, Detected: 0, Findings: 0, Matched: 0},
+	}}
+	same := &Grid{Cells: append([]Cell(nil), base.Cells...)}
+	if v := CompareForRegressions(base, same); len(v) != 0 {
+		t.Errorf("identical grids should pass the gate, got %v", v)
+	}
+	// Recall collapse beyond tolerance fails.
+	worse := &Grid{Cells: append([]Cell(nil), base.Cells...)}
+	worse.Cells[0].Detected, worse.Cells[0].Recall = 5, 0.5
+	v := CompareForRegressions(base, worse)
+	if len(v) != 1 || !strings.Contains(v[0], "recall") {
+		t.Errorf("recall drop should fail the gate, got %v", v)
+	}
+	// False-positive surge beyond tolerance fails.
+	noisy := &Grid{Cells: append([]Cell(nil), base.Cells...)}
+	noisy.Cells[0].Findings, noisy.Cells[0].Precision = 30, 0.3
+	v = CompareForRegressions(base, noisy)
+	if len(v) != 1 || !strings.Contains(v[0], "false-positive") {
+		t.Errorf("FP surge should fail the gate, got %v", v)
+	}
+	// Drift inside the tolerance passes.
+	drift := &Grid{Cells: append([]Cell(nil), base.Cells...)}
+	drift.Cells[0].Recall = 0.85
+	if v := CompareForRegressions(base, drift); len(v) != 0 {
+		t.Errorf("in-tolerance drift should pass, got %v", v)
+	}
+	// A vanished cell fails.
+	missing := &Grid{Cells: base.Cells[:1]}
+	v = CompareForRegressions(base, missing)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("missing cell should fail the gate, got %v", v)
+	}
+}

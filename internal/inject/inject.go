@@ -38,6 +38,13 @@ const (
 	KindSectionMove Kind = "section-move" // entry moved to wrong section
 )
 
+// Kinds lists every error model in a stable order, for harnesses that
+// sweep the full taxonomy (one evaluation-matrix row per kind).
+var Kinds = []Kind{
+	KindNameTypo, KindValueTypo, KindOmission, KindNumeric, KindSizeJump,
+	KindPathBreak, KindIdentity, KindBooleanFlip, KindSectionMove,
+}
+
 // Injection records one injected error.
 type Injection struct {
 	Kind Kind
@@ -215,6 +222,71 @@ func (in *Injector) Inject(img *sysimage.Image, app string, n int) ([]Injection,
 	}
 	img.SetConfig(app, cf.Path, rendered)
 	return log, nil
+}
+
+// InjectKind applies up to n errors of exactly one error model to the
+// app's configuration inside img, mutating the image in place. Unlike
+// Inject, a shortfall is not an error: some models are inapplicable to
+// some configurations (a file with no size-typed values yields no
+// size-jump injections), and the evaluation matrix treats the achieved
+// injection count as the cell's denominator. KindOmission, excluded from
+// random campaigns, is allowed here — the matrix measures precisely how
+// invisible silent removals are to each detector.
+func (in *Injector) InjectKind(img *sysimage.Image, app string, kind Kind, n int) ([]Injection, error) {
+	cf := img.ConfigFor(app)
+	if cf == nil {
+		return nil, fmt.Errorf("inject: image %s has no %s configuration", img.ID, app)
+	}
+	f, err := confparse.Parse(app, cf.Path, cf.Content)
+	if err != nil {
+		return nil, fmt.Errorf("inject: %w", err)
+	}
+	entries := append([]*confparse.Entry(nil), f.Entries...)
+	var log []Injection
+	for _, idx := range in.rng.Perm(len(entries)) {
+		if len(log) >= n {
+			break
+		}
+		e := entries[idx]
+		if !in.kindApplicable(e, kind) {
+			continue
+		}
+		inj, ok := in.apply(f, e, app, kind)
+		if !ok {
+			continue
+		}
+		log = append(log, inj)
+	}
+	if len(log) == 0 {
+		return nil, nil
+	}
+	rendered, err := confparse.Render(f)
+	if err != nil {
+		return nil, err
+	}
+	img.SetConfig(app, cf.Path, rendered)
+	return log, nil
+}
+
+// kindApplicable reports whether the error model makes sense for the
+// entry. Section pseudo-entries are excluded entirely: their children
+// re-open the original container on render, so mutating the container
+// yields ambiguous ground truth. Omission applies to any remaining
+// entry; everything else defers to the applicable() gate the random
+// campaigns use.
+func (in *Injector) kindApplicable(e *confparse.Entry, kind Kind) bool {
+	if e.IsSection {
+		return false
+	}
+	if kind == KindOmission {
+		return true
+	}
+	for _, k := range in.applicable(e) {
+		if k == kind {
+			return true
+		}
+	}
+	return false
 }
 
 func (in *Injector) apply(f *confparse.File, e *confparse.Entry, app string, kind Kind) (Injection, bool) {

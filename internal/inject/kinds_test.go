@@ -1,0 +1,241 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/confparse"
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+)
+
+// entrySnapshot is a (name → value → count) multiset of one app's parsed
+// configuration, for delta assertions around an injection.
+type entrySnapshot map[string]map[string]int
+
+func snapshotConfig(t *testing.T, img *sysimage.Image, app string) (entrySnapshot, int) {
+	t.Helper()
+	cf := img.ConfigFor(app)
+	if cf == nil {
+		t.Fatalf("image %s has no %s config", img.ID, app)
+	}
+	f, err := confparse.Parse(app, cf.Path, cf.Content)
+	if err != nil {
+		t.Fatalf("parse %s config: %v", app, err)
+	}
+	snap := entrySnapshot{}
+	for _, e := range f.Entries {
+		name := app + ":" + e.Name()
+		if snap[name] == nil {
+			snap[name] = map[string]int{}
+		}
+		snap[name][e.Value()]++
+	}
+	return snap, len(f.Entries)
+}
+
+func (s entrySnapshot) count(name, value string) int { return s[name][value] }
+
+// TestInjectKindRoundTrip asserts, for every error model on every corpus
+// app, that (a) the mutated configuration re-parses cleanly and (b) the
+// recorded Injection ground truth (Attr/OrigAttr/Before/After) matches
+// exactly what a re-scan of the file shows: the Before value left the
+// original name, the After value arrived at the recorded name.
+func TestInjectKindRoundTrip(t *testing.T) {
+	apps := []string{"apache", "mysql", "php", "sshd"}
+	covered := map[Kind]bool{}
+	for _, app := range apps {
+		for _, kind := range Kinds {
+			for seed := int64(1); seed <= 5; seed++ {
+				imgs, err := corpus.Training(app, 1, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				img := imgs[0]
+				before, beforeTotal := snapshotConfig(t, img, app)
+				injs, err := New(seed*31).InjectKind(img, app, kind, 1)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", app, kind, seed, err)
+				}
+				if len(injs) == 0 {
+					continue // kind inapplicable to this configuration
+				}
+				covered[kind] = true
+				inj := injs[0]
+				if inj.Kind != kind {
+					t.Fatalf("%s/%s: injection kind %s", app, kind, inj.Kind)
+				}
+				after, afterTotal := snapshotConfig(t, img, app) // re-parse must succeed
+				assertInjectionDelta(t, app, inj, before, after, beforeTotal, afterTotal)
+			}
+		}
+	}
+	for _, kind := range Kinds {
+		if !covered[kind] {
+			t.Errorf("kind %s never injected on any app/seed — round trip untested", kind)
+		}
+	}
+}
+
+func assertInjectionDelta(t *testing.T, app string, inj Injection, before, after entrySnapshot, beforeTotal, afterTotal int) {
+	t.Helper()
+	ctx := func() string { return app + " " + inj.String() }
+	switch inj.Kind {
+	case KindOmission:
+		if afterTotal != beforeTotal-1 {
+			t.Errorf("%s: entry count %d -> %d, want one fewer", ctx(), beforeTotal, afterTotal)
+		}
+		if got, want := after.count(inj.Attr, inj.Before), before.count(inj.Attr, inj.Before)-1; got != want {
+			t.Errorf("%s: %d occurrences of removed value remain, want %d", ctx(), got, want)
+		}
+	case KindNameTypo, KindSectionMove:
+		// The entry migrated: Before left OrigAttr, After (== Before)
+		// arrived at the new Attr.
+		if inj.Attr == inj.OrigAttr {
+			t.Errorf("%s: rename recorded identical names", ctx())
+		}
+		if got, want := after.count(inj.OrigAttr, inj.Before), before.count(inj.OrigAttr, inj.Before)-1; got != want {
+			t.Errorf("%s: old name still has %d occurrences of %q, want %d", ctx(), got, inj.Before, want)
+		}
+		if got, want := after.count(inj.Attr, inj.After), before.count(inj.Attr, inj.After)+1; got != want {
+			t.Errorf("%s: new name has %d occurrences of %q, want %d", ctx(), got, inj.After, want)
+		}
+	default: // value mutations in place
+		if inj.Attr != inj.OrigAttr {
+			t.Errorf("%s: value mutation renamed the entry", ctx())
+		}
+		if inj.Before == inj.After {
+			t.Errorf("%s: recorded no value change", ctx())
+		}
+		if got, want := after.count(inj.Attr, inj.Before), before.count(inj.Attr, inj.Before)-1; got != want {
+			t.Errorf("%s: old value %q count %d, want %d", ctx(), inj.Before, got, want)
+		}
+		if got, want := after.count(inj.Attr, inj.After), before.count(inj.Attr, inj.After)+1; got != want {
+			t.Errorf("%s: new value %q count %d, want %d", ctx(), inj.After, got, want)
+		}
+	}
+}
+
+// TestInjectKindDeterminism pins that same-seed InjectKind runs mutate
+// identically — the evaluation matrix's reproducibility rests on it.
+func TestInjectKindDeterminism(t *testing.T) {
+	for _, kind := range Kinds {
+		a, b := testImage(), testImage()
+		la, errA := New(9).InjectKind(a, "mysql", kind, 3)
+		lb, errB := New(9).InjectKind(b, "mysql", kind, 3)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if len(la) != len(lb) {
+			t.Fatalf("%s: log sizes %d vs %d", kind, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("%s: injection %d differs: %v vs %v", kind, i, la[i], lb[i])
+			}
+		}
+		if a.ConfigFor("mysql").Content != b.ConfigFor("mysql").Content {
+			t.Fatalf("%s: same seed produced different configs", kind)
+		}
+	}
+}
+
+// TestInjectKindShortfallAndErrors pins the contract differences from
+// Inject: a shortfall is not an error (the matrix uses the achieved count
+// as its denominator), but a missing configuration still is.
+func TestInjectKindShortfallAndErrors(t *testing.T) {
+	im := testImage()
+	// The mysql test config has no boolean-word values: zero injections,
+	// no error, image untouched.
+	before := im.ConfigFor("mysql").Content
+	injs, err := New(1).InjectKind(im, "mysql", KindBooleanFlip, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) != 0 {
+		t.Fatalf("expected no boolean-flip sites, got %v", injs)
+	}
+	if im.ConfigFor("mysql").Content != before {
+		t.Fatal("zero-injection run must not rewrite the config")
+	}
+	if _, err := New(1).InjectKind(im, "apache", KindNameTypo, 1); err == nil {
+		t.Fatal("missing app config should error")
+	}
+	// Asking for more than the config can host returns what it achieved.
+	injs, err = New(1).InjectKind(im, "mysql", KindNameTypo, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) == 0 {
+		t.Fatal("name typos should always be injectable")
+	}
+}
+
+// TestMatchesEdgeCases is the table-driven sweep over the warning
+// attributions the evaluation matrix depends on: omission findings,
+// section-moved entries under both names, augmented/derived attribute
+// suffixes, and near-name collisions that must NOT be credited.
+func TestMatchesEdgeCases(t *testing.T) {
+	omission := Injection{Kind: KindOmission, Attr: "mysql:mysqld/tmpdir", OrigAttr: "mysql:mysqld/tmpdir", Before: "/tmp", After: "<removed>"}
+	moved := Injection{Kind: KindSectionMove, Attr: "mysql:misc/key_buffer_size", OrigAttr: "mysql:mysqld/key_buffer_size", Before: "8M", After: "8M"}
+	typo := Injection{Kind: KindNameTypo, Attr: "php:PHP/memory_limti", OrigAttr: "php:PHP/memory_limit", Before: "128M", After: "128M"}
+	value := Injection{Kind: KindValueTypo, Attr: "apache:User", OrigAttr: "apache:User", Before: "www-data", After: "ww-data"}
+	cases := []struct {
+		name string
+		inj  Injection
+		attr string
+		want bool
+	}{
+		// Omission: the removed entry's own name and its derived columns.
+		{"omission exact", omission, "mysql:mysqld/tmpdir", true},
+		{"omission augmented", omission, "mysql:mysqld/tmpdir.type", true},
+		{"omission arg column", omission, "mysql:mysqld/tmpdir/arg1", true},
+		{"omission sibling", omission, "mysql:mysqld/tmpdir2", false},
+		{"omission prefix of name", omission, "mysql:mysqld/tmp", false},
+		// Section move: detected under the new (wrong-section) name or the
+		// original, including augmented derivations of both.
+		{"moved new name", moved, "mysql:misc/key_buffer_size", true},
+		{"moved old name", moved, "mysql:mysqld/key_buffer_size", true},
+		{"moved new augmented", moved, "mysql:misc/key_buffer_size.owner", true},
+		{"moved old augmented", moved, "mysql:mysqld/key_buffer_size.owner", true},
+		{"moved other section", moved, "mysql:mysqld2/key_buffer_size", false},
+		{"moved unrelated key in misc", moved, "mysql:misc/sort_buffer_size", false},
+		// Name typo: both spellings count; longer names sharing the
+		// misspelling as a prefix (no separator) do not.
+		{"typo new name", typo, "php:PHP/memory_limti", true},
+		{"typo old name", typo, "php:PHP/memory_limit", true},
+		{"typo new derived", typo, "php:PHP/memory_limti.type", true},
+		{"typo collision no separator", typo, "php:PHP/memory_limit_max", false},
+		{"typo dotted sibling", typo, "php:PHP/memory_limits", false},
+		// Derived/augmented collisions: suffix must start with a
+		// separator, a bare extension of the name is a different attr.
+		{"value exact", value, "apache:User", true},
+		{"value augmented owner", value, "apache:User.owner", true},
+		{"value arg column", value, "apache:User/arg1", true},
+		{"value name extension", value, "apache:UserDir", false},
+		{"value digit extension", value, "apache:User2", false},
+		{"value empty attr", value, "", false},
+		{"value dash extension", value, "apache:User-agent", false},
+	}
+	for _, c := range cases {
+		if got := c.inj.Matches(c.attr); got != c.want {
+			t.Errorf("%s: Matches(%q) = %v, want %v (injection %v)", c.name, c.attr, got, c.want, c.inj)
+		}
+	}
+}
+
+// TestMatchesDoesNotCreditPartnerAttr documents a deliberate limitation:
+// a correlation warning is attributed to the rule's A-side attribute, so
+// an injection on the B side is only credited when the detector also
+// flags the injected entry itself. Matches stays attr-level — credit via
+// rule partners would let one warning explain arbitrarily many
+// injections.
+func TestMatchesDoesNotCreditPartnerAttr(t *testing.T) {
+	inj := Injection{Kind: KindNumeric, Attr: "mysql:mysqld/net_buffer_length", OrigAttr: "mysql:mysqld/net_buffer_length", Before: "8K", After: "80K"}
+	if inj.Matches("mysql:mysqld/max_allowed_packet") {
+		t.Fatal("partner attribute must not be credited to the injection")
+	}
+	if !strings.HasPrefix(inj.Attr, "mysql:") {
+		t.Fatal("sanity")
+	}
+}

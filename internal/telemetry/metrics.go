@@ -43,6 +43,9 @@ var promCounterNames = map[string]string{
 	CounterImagesScanned:      "encore_scan_images_total",
 	CounterFindingsEmitted:    "encore_scan_findings_total",
 	CounterScanErrors:         "encore_scan_errors_total",
+	CounterMatrixCells:        "encore_evalmatrix_cells_total",
+	CounterMatrixInjections:   "encore_evalmatrix_injections_total",
+	CounterMatrixFindings:     "encore_evalmatrix_findings_total",
 }
 
 // promSanitize rewrites an internal dotted name into a metric-name-safe

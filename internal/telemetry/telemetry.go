@@ -46,6 +46,13 @@ const (
 	CounterImagesScanned      = "scan.images.scanned"
 	CounterFindingsEmitted    = "scan.findings.emitted"
 	CounterScanErrors         = "scan.errors"
+	// Evaluation-matrix counters: grid cells scored, ground-truth errors
+	// injected into victim images (counted once per (population, kind)
+	// victim set, which every configuration shares), and findings emitted
+	// across all cells.
+	CounterMatrixCells      = "evalmatrix.cells.scored"
+	CounterMatrixInjections = "evalmatrix.injections.applied"
+	CounterMatrixFindings   = "evalmatrix.findings.emitted"
 )
 
 // Stage names used by the instrumented pipeline stages.
