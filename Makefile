@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier2 smoke eval-matrix eval-matrix-smoke bench bench-rules bench-scan bench-check bench-all bench-smoke fuzz fmt
+.PHONY: tier1 tier2 smoke eval-matrix eval-matrix-smoke bench bench-rules bench-scan bench-check bench-plan bench-all bench-smoke fuzz fmt
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
@@ -24,6 +24,10 @@ smoke:
 		-stats-json $(SMOKE_DIR)/stats.json -trace-out $(SMOKE_DIR)/trace.json >/dev/null
 	grep -q '"version": 2' $(SMOKE_DIR)/stats.json
 	grep -q '"traceEvents"' $(SMOKE_DIR)/trace.json
+	$(GO) run ./cmd/encore compile -training $(SMOKE_DIR)/training -plan-out $(SMOKE_DIR)/app.plan
+	head -c 4 $(SMOKE_DIR)/app.plan | grep -q ENCP
+	$(GO) run ./cmd/encore scan -plan $(SMOKE_DIR)/app.plan -targets $(SMOKE_DIR)/targets >/dev/null
+	head -c 4 internal/planio/testdata/plan_v1.golden | grep -q ENCP
 	$(GO) run ./cmd/evaluate -matrix -seed 5 -matrix-training 10 -matrix-victims 1 -matrix-per-victim 2 \
 		-matrix-pops apache -matrix-kinds name-typo -matrix-configs plan-default \
 		-matrix-out $(SMOKE_DIR)/matrix.json >/dev/null
@@ -55,7 +59,7 @@ bench:
 # oracle, parallel, indexed with the corpus-scaling axis) and record the
 # machine-readable results so speedups/regressions are tracked across PRs.
 bench-rules:
-	$(GO) test -run '^$$' -bench=RuleInference -benchmem -json . > BENCH_rules.json
+	$(GO) test -run '^$$' -bench=RuleInference -benchmem -json . > BENCH_rules.json.tmp && mv BENCH_rules.json.tmp BENCH_rules.json
 	@grep -o '"Output":"[^"]*"' BENCH_rules.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
@@ -63,7 +67,7 @@ bench-rules:
 # recorded machine-readably like bench-rules so scan throughput is
 # tracked across PRs.
 bench-scan:
-	$(GO) test -run '^$$' -bench=BatchScan -benchmem -json . > BENCH_scan.json
+	$(GO) test -run '^$$' -bench=BatchScan -benchmem -json . > BENCH_scan.json.tmp && mv BENCH_scan.json.tmp BENCH_scan.json
 	@grep -o '"Output":"[^"]*"' BENCH_scan.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
@@ -72,17 +76,27 @@ bench-scan:
 # and target, recorded machine-readably like bench-scan. The plan/legacy
 # ratio is the allocation-diet headline.
 bench-check:
-	$(GO) test -run '^$$' -bench='DetectorCheck|ProfileCheck|PlanCheck' -benchmem -json . > BENCH_check.json
+	$(GO) test -run '^$$' -bench='DetectorCheck|ProfileCheck|PlanCheck' -benchmem -json . > BENCH_check.json.tmp && mv BENCH_check.json.tmp BENCH_check.json
 	@grep -o '"Output":"[^"]*"' BENCH_check.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
+# Plan cold-start trajectory: decoding the binary plan vs compiling from
+# the JSON profile vs a full re-learn (all three starting from serialized
+# bytes), plus the incremental-vs-full inference pair. The binary-load /
+# compile-from-profile and binary-load / full-relearn ratios are the
+# format's reason to exist; eyeball them when this file changes.
+bench-plan:
+	$(GO) test -run '^$$' -bench='PlanColdStart|IncrementalInfer' -benchmem -json . > BENCH_plan.json.tmp && mv BENCH_plan.json.tmp BENCH_plan.json
+	@grep -o '"Output":"[^"]*"' BENCH_plan.json | sed 's/^"Output":"//;s/"$$//' | \
+		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
+
 # Refresh every recorded benchmark file in one go.
-bench-all: bench-rules bench-scan bench-check
+bench-all: bench-rules bench-scan bench-check bench-plan
 
 # One-iteration pass over the recorded benchmark families so CI catches
 # bench bit-rot without paying for stable measurements.
 bench-smoke:
-	$(GO) test -run '^$$' -bench='BatchScan|RuleInference|DetectorCheck|ProfileCheck|PlanCheck' \
+	$(GO) test -run '^$$' -bench='BatchScan|RuleInference|DetectorCheck|ProfileCheck|PlanCheck|PlanColdStart|IncrementalInfer' \
 		-benchtime 1x -benchmem . >/dev/null
 	@echo "bench-smoke: benchmarks build and run OK"
 
@@ -92,6 +106,7 @@ fuzz:
 	$(GO) test ./internal/confparse -fuzz FuzzApacheParse -fuzztime 10s
 	$(GO) test ./internal/confparse -fuzz FuzzINIParse -fuzztime 10s
 	$(GO) test ./internal/confparse -fuzz FuzzSSHDParse -fuzztime 10s
+	$(GO) test ./internal/planio -fuzz FuzzPlanDecode -fuzztime 10s
 
 fmt:
 	gofmt -l .

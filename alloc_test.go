@@ -15,6 +15,12 @@ import (
 const (
 	maxPlanCheckAllocs = 150
 	maxLoadJSONAllocs  = 400
+	// Binary plan decode of a learned 30-image mysql plan sits around ~260
+	// allocations once the string interner is warm (one per histogram slice
+	// and rule, plus the spec scaffolding); 600 leaves ~2x headroom while
+	// still catching a per-string or per-varint alloc regression that would
+	// erode the cold-start win.
+	maxPlanDecodeAllocs = 600
 )
 
 // TestPlanCheckAllocCeiling pins the steady-state allocation count of one
@@ -73,5 +79,35 @@ func TestLoadJSONAllocCeiling(t *testing.T) {
 	if allocs > maxLoadJSONAllocs {
 		t.Errorf("LoadJSON allocated %.1f objects for a %d-byte image; ceiling is %d",
 			allocs, len(data), maxLoadJSONAllocs)
+	}
+}
+
+// TestPlanDecodeAllocCeiling pins the allocation count of decoding a
+// compiled binary plan — the millisecond cold-start path. The ceiling is
+// what keeps `scan -plan` startup from quietly regressing toward the
+// JSON-profile cost it replaces.
+func TestPlanDecodeAllocCeiling(t *testing.T) {
+	training, err := corpus.Training("mysql", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fw.MarshalPlan(fw.CompilePlan(k))
+	// Warm the string interner with the plan's vocabulary.
+	if _, err := fw.LoadPlan(data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := fw.LoadPlan(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxPlanDecodeAllocs {
+		t.Errorf("LoadPlan allocated %.1f objects for a %d-byte plan; ceiling is %d",
+			allocs, len(data), maxPlanDecodeAllocs)
 	}
 }

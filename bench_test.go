@@ -23,6 +23,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/mining"
 	"repro/internal/rules"
+	"repro/internal/sysimage"
 )
 
 const benchSeed = 1
@@ -632,4 +633,119 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 	b.Logf("\n%s", eval.RenderTable8(rows))
 	_ = fmt.Sprint()
+}
+
+// BenchmarkPlanColdStart measures the three ways to get a usable detector
+// on a fresh process, on the same 32-image corpus: decoding a compiled
+// binary plan, compiling a plan from a deserialized JSON profile, and
+// re-learning from the raw training images. The binary path is the one
+// the scan CLI takes with -plan; the sub-benchmark ratios are the point
+// of the format.
+func BenchmarkPlanColdStart(b *testing.B) {
+	images, err := corpus.Training("mysql", 32, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := New()
+	k, err := fw.Learn(images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planBytes := fw.MarshalPlan(fw.CompilePlan(k))
+	profileBytes, err := k.Profile().Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("binary-load", func(b *testing.B) {
+		b.SetBytes(int64(len(planBytes)))
+		for i := 0; i < b.N; i++ {
+			if _, err := fw.LoadPlan(planBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile-from-profile", func(b *testing.B) {
+		b.SetBytes(int64(len(profileBytes)))
+		for i := 0; i < b.N; i++ {
+			p, err := LoadProfile(profileBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fw.CompilePlanFromProfile(p) == nil {
+				b.Fatal("nil plan")
+			}
+		}
+	})
+	b.Run("full-relearn", func(b *testing.B) {
+		// Like the other two arms, start from serialized bytes: a real
+		// re-learn cold start parses the training snapshots before it can
+		// assemble, infer, and compile.
+		raw := make([][]byte, len(images))
+		for i, im := range images {
+			data, err := im.MarshalJSONIndent()
+			if err != nil {
+				b.Fatal(err)
+			}
+			raw[i] = data
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			imgs := make([]*sysimage.Image, len(raw))
+			for j, data := range raw {
+				img, err := sysimage.LoadJSON(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				imgs[j] = img
+			}
+			kk, err := New().Learn(imgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fw.CompilePlan(kk) == nil {
+				b.Fatal("nil plan")
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalInfer compares re-inferring rules after a two-image
+// fleet change: InferDelta against a from-scratch Infer over the same
+// rows.
+func BenchmarkIncrementalInfer(b *testing.B) {
+	images, err := corpus.Training("mysql", 32, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta, err := corpus.Training("mysql", 2, benchSeed+500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, im := range delta {
+		im.ID = fmt.Sprintf("delta-%d", i)
+	}
+
+	b.Run("delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fw := New()
+			k, err := fw.Learn(images)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := fw.AddImages(k, delta...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		all := append(append([]*sysimage.Image(nil), images...), delta...)
+		for i := 0; i < b.N; i++ {
+			if _, err := New().Learn(all); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

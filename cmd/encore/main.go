@@ -38,6 +38,8 @@ func main() {
 		err = runLearn(os.Args[2:])
 	case "check":
 		err = runCheck(os.Args[2:])
+	case "compile":
+		err = runCompile(os.Args[2:])
 	case "assemble":
 		err = runAssemble(os.Args[2:])
 	case "scan":
@@ -63,8 +65,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE] [telemetry flags]
-  encore check    (-training DIR | -profile FILE) -target FILE [-top N] [-json] [-advise] [telemetry flags]
-  encore scan     (-training DIR | -profile FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-progress] [telemetry flags]
+  encore compile  (-training DIR | -profile FILE) -plan-out FILE [-custom FILE] [telemetry flags]
+  encore check    (-training DIR | -profile FILE | -plan FILE) -target FILE [-top N] [-json] [-advise] [telemetry flags]
+  encore scan     (-training DIR | -profile FILE | -plan FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-progress] [telemetry flags]
   encore rules    (-training DIR | -profile FILE) [-custom FILE]
   encore collect  -root DIR -id NAME -app NAME=RELPATH [-app ...] -out FILE
   encore assemble -training DIR [-csv FILE]
@@ -184,10 +187,88 @@ func runLearn(args []string) (err error) {
 	return nil
 }
 
+// exactlyOne reports whether exactly one of the knowledge-source flag
+// values is set.
+func exactlyOne(vals ...string) bool {
+	n := 0
+	for _, v := range vals {
+		if v != "" {
+			n++
+		}
+	}
+	return n == 1
+}
+
+// runCompile learns (or loads) knowledge and writes the compiled check
+// plan in the binary plan format — the millisecond cold-start artifact the
+// scan and check commands accept via -plan.
+func runCompile(args []string) (err error) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	training := fs.String("training", "", "directory of training image JSON files")
+	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
+	planOut := fs.String("plan-out", "", "write the compiled binary plan to this file")
+	customFile := fs.String("custom", "", "customization file")
+	obs := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*training == "") == (*profileIn == "") || *planOut == "" {
+		return fmt.Errorf("compile: -plan-out and exactly one of -training / -profile are required")
+	}
+	fw, err := newFramework(*customFile)
+	if err != nil {
+		return err
+	}
+	finish, err := startObs(obs, fw, "compile")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	var plan *encore.Plan
+	if *profileIn != "" {
+		pdata, err := os.ReadFile(*profileIn)
+		if err != nil {
+			return err
+		}
+		p, err := encore.LoadProfile(pdata)
+		if err != nil {
+			return err
+		}
+		plan = fw.CompilePlanFromProfile(p)
+	} else {
+		k, err := learn(fw, *training)
+		if err != nil {
+			return err
+		}
+		plan = fw.CompilePlan(k)
+	}
+	data := fw.MarshalPlan(plan)
+	if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compiled plan (%d attributes, %d rules, %d training images) -> %s (%d bytes)\n",
+		plan.AttrCount(), plan.RuleCount(), plan.Samples(), *planOut, len(data))
+	return nil
+}
+
+// loadPlanFile reads and rebuilds a binary plan written by compile.
+func loadPlanFile(fw *encore.Framework, path string) (*encore.Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fw.LoadPlan(data)
+}
+
 func runCheck(args []string) (err error) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	training := fs.String("training", "", "directory of training image JSON files")
 	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
+	planIn := fs.String("plan", "", "compiled binary plan file (alternative to -training/-profile)")
 	target := fs.String("target", "", "target image JSON file")
 	customFile := fs.String("custom", "", "customization file")
 	top := fs.Int("top", 0, "print only the top N warnings (0 = all)")
@@ -197,8 +278,8 @@ func runCheck(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*training == "") == (*profileIn == "") || *target == "" {
-		return fmt.Errorf("check: -target and exactly one of -training / -profile are required")
+	if !exactlyOne(*training, *profileIn, *planIn) || *target == "" {
+		return fmt.Errorf("check: -target and exactly one of -training / -profile / -plan are required")
 	}
 	fw, err := newFramework(*customFile)
 	if err != nil {
@@ -224,7 +305,19 @@ func runCheck(args []string) (err error) {
 	var report *encore.Report
 	var knowledge *encore.Knowledge
 	var nRules, nTraining int
-	if *profileIn != "" {
+	if *planIn != "" {
+		plan, err := loadPlanFile(fw, *planIn)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		report, err = plan.Check(img)
+		obs.Rec.ObserveDur(telemetry.HistTargetCheck, time.Since(start))
+		if err != nil {
+			return err
+		}
+		nRules, nTraining = plan.RuleCount(), plan.Samples()
+	} else if *profileIn != "" {
 		pdata, err := os.ReadFile(*profileIn)
 		if err != nil {
 			return err
@@ -285,6 +378,7 @@ func runScan(args []string) (err error) {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	training := fs.String("training", "", "directory of training image JSON files")
 	profileIn := fs.String("profile", "", "knowledge profile file (alternative to -training)")
+	planIn := fs.String("plan", "", "compiled binary plan file (alternative to -training/-profile)")
 	targets := fs.String("targets", "", "directory of target image JSON files")
 	minWarnings := fs.Int("min-warnings", 1, "only list images with at least this many warnings")
 	customFile := fs.String("custom", "", "customization file")
@@ -296,8 +390,8 @@ func runScan(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*training == "") == (*profileIn == "") || *targets == "" {
-		return fmt.Errorf("scan: -targets and exactly one of -training / -profile are required")
+	if !exactlyOne(*training, *profileIn, *planIn) || *targets == "" {
+		return fmt.Errorf("scan: -targets and exactly one of -training / -profile / -plan are required")
 	}
 	fw, err := newFramework(*customFile)
 	if err != nil {
@@ -313,7 +407,13 @@ func runScan(args []string) (err error) {
 		}
 	}()
 	var eng *scan.Engine
-	if *profileIn != "" {
+	if *planIn != "" {
+		plan, err := loadPlanFile(fw, *planIn)
+		if err != nil {
+			return err
+		}
+		eng = fw.ScanEngineWithPlan(plan)
+	} else if *profileIn != "" {
 		data, err := os.ReadFile(*profileIn)
 		if err != nil {
 			return err

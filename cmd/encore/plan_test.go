@@ -1,0 +1,133 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sysimage"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// TestRunCompilePlanAcceptance is the CLI acceptance test for the binary
+// plan format: compile a plan from a profile, then require that check and
+// scan driven by -plan print byte-identical output to the same commands
+// driven by -profile on the same corpus.
+func TestRunCompilePlanAcceptance(t *testing.T) {
+	training, target := fixture(t)
+	tmp := t.TempDir()
+	profileFile := filepath.Join(tmp, "profile.json")
+	planFile := filepath.Join(tmp, "app.plan")
+	if err := runLearn([]string{"-training", training, "-profile", profileFile}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return runCompile([]string{"-profile", profileFile, "-plan-out", planFile})
+	})
+	if !strings.Contains(out, "compiled plan") || !strings.Contains(out, planFile) {
+		t.Fatalf("compile output unexpected: %q", out)
+	}
+	data, err := os.ReadFile(planFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 12 || string(data[:4]) != "ENCP" {
+		t.Fatalf("plan file does not start with the ENCP magic (%d bytes)", len(data))
+	}
+
+	// check: the binary plan must report exactly what the profile reports.
+	checkWith := func(src ...string) string {
+		return captureStdout(t, func() error {
+			return runCheck(append(src, "-target", target, "-json"))
+		})
+	}
+	fromProfile := checkWith("-profile", profileFile)
+	fromPlan := checkWith("-plan", planFile)
+	if fromPlan != fromProfile {
+		t.Fatalf("check -plan output differs from check -profile\nplan:\n%s\nprofile:\n%s", fromPlan, fromProfile)
+	}
+
+	// scan: same fleet, same summary lines.
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 3, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images = append(images, corpus.RealWorldCases()[2].Build())
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+	scanWith := func(src ...string) string {
+		return captureStdout(t, func() error {
+			return runScan(append(src, "-targets", targets))
+		})
+	}
+	fromProfile = scanWith("-profile", profileFile)
+	fromPlan = scanWith("-plan", planFile)
+	if fromPlan != fromProfile {
+		t.Fatalf("scan -plan output differs from scan -profile\nplan:\n%s\nprofile:\n%s", fromPlan, fromProfile)
+	}
+}
+
+// TestRunCompileFromTraining covers the learn-and-compile path: training
+// directory straight to a plan file, then a check against it.
+func TestRunCompileFromTraining(t *testing.T) {
+	training, target := fixture(t)
+	planFile := filepath.Join(t.TempDir(), "app.plan")
+	if err := runCompile([]string{"-training", training, "-plan-out", planFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck([]string{"-plan", planFile, "-target", target, "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCompileValidation locks the flag contract: exactly one knowledge
+// source, -plan-out required, and -plan mutually exclusive with the other
+// check/scan sources.
+func TestRunCompileValidation(t *testing.T) {
+	training, target := fixture(t)
+	if err := runCompile([]string{"-plan-out", "x.plan"}); err == nil {
+		t.Fatal("compile without a knowledge source should error")
+	}
+	if err := runCompile([]string{"-training", training}); err == nil {
+		t.Fatal("compile without -plan-out should error")
+	}
+	if err := runCompile([]string{"-training", training, "-profile", "p.json", "-plan-out", "x.plan"}); err == nil {
+		t.Fatal("compile with both -training and -profile should error")
+	}
+	if err := runCheck([]string{"-plan", "a.plan", "-profile", "b.json", "-target", target}); err == nil {
+		t.Fatal("check with both -plan and -profile should error")
+	}
+	if err := runScan([]string{"-plan", "a.plan", "-training", training, "-targets", "dir"}); err == nil {
+		t.Fatal("scan with both -plan and -training should error")
+	}
+	if err := runCheck([]string{"-plan", filepath.Join(t.TempDir(), "missing.plan"), "-target", target}); err == nil {
+		t.Fatal("check with a missing plan file should error")
+	}
+}

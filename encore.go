@@ -36,6 +36,7 @@ import (
 	"repro/internal/custom"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/planio"
 	"repro/internal/profile"
 	"repro/internal/rules"
 	"repro/internal/scan"
@@ -118,6 +119,11 @@ type Knowledge struct {
 	Training *dataset.Dataset
 	Rules    []*rules.Rule
 	images   map[string]*sysimage.Image
+
+	// state carries the rule engine's per-candidate evidence so AddImages/
+	// RetireImages can re-infer incrementally instead of re-sweeping the
+	// corpus.
+	state rules.InferState
 }
 
 // Learn assembles the training images and infers correlation rules.
@@ -133,8 +139,61 @@ func (f *Framework) Learn(images []*sysimage.Image) (*Knowledge, error) {
 	for _, im := range images {
 		byID[im.ID] = im
 	}
-	learned := f.Engine.Infer(ds, byID)
-	return &Knowledge{Training: ds, Rules: learned, images: byID}, nil
+	k := &Knowledge{Training: ds, images: byID}
+	k.Rules = f.Engine.InferWithState(ds, byID, &k.state)
+	return k, nil
+}
+
+// AddImages grows the knowledge by a batch of new training images without
+// re-learning from scratch: the images are assembled into delta rows with
+// frozen attribute types, appended to the dataset (which maintains its
+// columnar index by delta), and the rule set is re-inferred incrementally —
+// only candidates whose evidence the new rows touch are revalidated. The
+// resulting rules are identical to a from-scratch Learn over the combined
+// image set with the same frozen types.
+func (f *Framework) AddImages(k *Knowledge, images ...*sysimage.Image) error {
+	if k == nil {
+		return fmt.Errorf("encore: nil knowledge (call Learn first)")
+	}
+	if len(images) == 0 {
+		return nil
+	}
+	for _, im := range images {
+		if _, dup := k.images[im.ID]; dup {
+			return fmt.Errorf("encore: image %s already in training set", im.ID)
+		}
+	}
+	added, err := f.Assembler.AssembleDeltaRows(k.Training, images)
+	if err != nil {
+		return err
+	}
+	k.Training.AddRows(added...)
+	for _, im := range images {
+		k.images[im.ID] = im
+	}
+	k.Rules = f.Engine.InferDelta(k.Training, k.images, &k.state, added, nil)
+	return nil
+}
+
+// RetireImages removes training images by ID (unknown IDs are ignored) and
+// re-infers the rule set incrementally, subtracting only the retired rows'
+// evidence. The retired images stay visible to the rule engine during the
+// delta inference — a retired row's contribution must be re-validated
+// against the same environment it was counted with — and are dropped from
+// the knowledge afterwards.
+func (f *Framework) RetireImages(k *Knowledge, ids ...string) error {
+	if k == nil {
+		return fmt.Errorf("encore: nil knowledge (call Learn first)")
+	}
+	retired := k.Training.RetireRows(ids...)
+	if len(retired) == 0 {
+		return nil
+	}
+	k.Rules = f.Engine.InferDelta(k.Training, k.images, &k.state, nil, retired)
+	for _, row := range retired {
+		delete(k.images, row.SystemID)
+	}
+	return nil
 }
 
 // RuleSet exports the knowledge's rules and attribute types for
@@ -214,6 +273,54 @@ func (f *Framework) CompilePlanFromProfile(p *profile.Profile) *detect.Plan {
 	dt.Assembler = f.Assembler
 	dt.Templates = f.Engine.Templates
 	return dt.Compile()
+}
+
+// MarshalPlan serializes a compiled plan to the versioned binary plan
+// format (see internal/planio). The bytes capture everything the plan
+// derived from training — histograms, rules, the type table, prefilter
+// signatures — so LoadPlan can rebuild an identical plan without the
+// training corpus, a profile, or re-learning.
+func (f *Framework) MarshalPlan(p *detect.Plan) []byte {
+	rec := f.Assembler.Telemetry
+	sp := rec.StartSpan("plan.encode")
+	data := planio.Encode(p.Spec())
+	sp.SetAttr("bytes", fmt.Sprintf("%d", len(data)))
+	sp.End()
+	rec.Add(telemetry.CounterPlanEncoded, 1)
+	rec.Add(telemetry.CounterPlanEncodedBytes, int64(len(data)))
+	return data
+}
+
+// LoadPlan decodes a binary plan and rebuilds the live check plan against
+// this framework's assembler (for type checkers and target assembly) and
+// template set (for rule resolution). This is the millisecond cold-start
+// path: no training corpus, no histogram rebuild, no rule re-learning.
+func (f *Framework) LoadPlan(data []byte) (*detect.Plan, error) {
+	rec := f.Assembler.Telemetry
+	sp := rec.StartSpan("plan.load")
+	defer sp.End()
+	spec, err := planio.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := detect.NewPlanFromSpec(spec, f.Assembler, f.Engine.Templates)
+	if err != nil {
+		return nil, err
+	}
+	rec.Add(telemetry.CounterPlanLoaded, 1)
+	rec.Add(telemetry.CounterPlanLoadedBytes, int64(len(data)))
+	return p, nil
+}
+
+// ScanEngineWithPlan returns a batch scan engine over an already-built
+// check plan (typically one rebuilt by LoadPlan), wired to the framework's
+// telemetry and logging like ScanEngine.
+func (f *Framework) ScanEngineWithPlan(p *detect.Plan) *scan.Engine {
+	return &scan.Engine{
+		Check:     p.Check,
+		Telemetry: f.Assembler.Telemetry,
+		Log:       f.Assembler.Log,
+	}
 }
 
 // Templates returns the framework's active rule templates.

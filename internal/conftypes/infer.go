@@ -53,9 +53,16 @@ func (inf *Inferencer) Defs() []*Def {
 	return out
 }
 
-// Def returns the definition for a type name, or nil.
+// Def returns the definition for a type name, or nil. Custom defs shadow
+// predefined ones, matching the Defs() order; no slice is built — this
+// sits on the plan-compile path, once per attribute.
 func (inf *Inferencer) Def(t Type) *Def {
-	for _, d := range inf.Defs() {
+	for _, d := range inf.custom {
+		if d.Name == t {
+			return d
+		}
+	}
+	for _, d := range inf.predefined {
 		if d.Name == t {
 			return d
 		}

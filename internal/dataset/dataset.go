@@ -76,7 +76,10 @@ func (d *Dataset) DeclareAttr(name string, t conftypes.Type, augmented bool) Att
 	a := Attribute{Name: name, Type: t, Augmented: augmented}
 	d.index[name] = len(d.attrs)
 	d.attrs = append(d.attrs, a)
-	d.idx.Store(nil)
+	// Declaring a column does not invalidate a cached index: a freshly
+	// declared attribute has no cells yet, and Index.col falls back to an
+	// all-absent column for names the snapshot does not know. Keeping the
+	// snapshot alive is what lets AddRows/RetireRows maintain it by delta.
 	return a
 }
 

@@ -15,12 +15,15 @@
 //   - entropy, cardinality, presence, and total instance counts are
 //     computed once per snapshot and served from the cache.
 //
-// The snapshot is invalidated (not updated in place) by every dataset
-// mutation — Add, DeclareAttr, NewRow — and lazily rebuilt on the next
-// access. A caller must therefore not retain an *Index across mutations;
-// re-fetch it with Dataset.Index instead. Snapshot access is safe for
-// concurrent readers (the scan engine's workers and the rule engine's
-// candidate pool both read it in parallel).
+// The snapshot is invalidated (not updated in place) by the row mutators
+// Add and NewRow, and lazily rebuilt on the next access; DeclareAttr keeps
+// it (a cell-less column is indistinguishable from an unknown one), and
+// the batch mutators AddRows/RetireRows replace it with a copy-on-write
+// delta snapshot (see delta.go) instead of discarding it. A caller must
+// not retain an *Index across mutations; re-fetch it with Dataset.Index
+// instead. Snapshot access is safe for concurrent readers (the scan
+// engine's workers and the rule engine's candidate pool both read it in
+// parallel).
 package dataset
 
 import (
@@ -95,8 +98,11 @@ func (ix *Index) RowValues(attr string) [][]string { return ix.col(attr).rowVals
 // popcount(bitsA AND bitsB), O(rows/64).
 func (ix *Index) CoSupport(attrA, attrB string) int {
 	ba, bb := ix.col(attrA).bits, ix.col(attrB).bits
-	if len(ba) == 0 || len(bb) == 0 {
-		return 0
+	// Delta snapshots (see delta.go) share untouched columns whose bitsets
+	// still have the pre-delta length; the missing high words are implicit
+	// zeros, so the sweep stops at the shorter set.
+	if len(bb) < len(ba) {
+		ba = ba[:len(bb)]
 	}
 	n := 0
 	for i, w := range ba {

@@ -42,9 +42,10 @@ type Plan struct {
 	// resolution (the map AssembleTarget would consult per image).
 	types map[string]conftypes.Type
 
-	// names interns every training-side attribute name: target attribute
-	// names are built in a byte buffer and resolved here without
-	// allocating whenever the name was seen in training.
+	// names interns the training-side names not already keyed by attrs
+	// (type declarations without a matching attribute): target attribute
+	// names are built in a byte buffer and resolved against attrs, then
+	// names, without allocating whenever the name was seen in training.
 	names map[string]string
 
 	// nameIdx lists the non-augmented training attributes in declaration
@@ -64,8 +65,13 @@ type Plan struct {
 type planAttr struct {
 	decl dataset.Attribute
 	// has mirrors Detector.trainingHas (Present > 0).
-	has  bool
-	hist map[string]int
+	has bool
+	// hist is the value histogram sorted by value. A sorted slice instead
+	// of a map keeps the representation identical to the serialized
+	// PlanSpec form, so a decoded plan aliases its spec's slices instead of
+	// rebuilding per-attribute maps — the check side only ever asks for
+	// membership (histHas).
+	hist []PlanSpecHistEntry
 	card int
 	// trivial caches decl.Type.IsTrivial().
 	trivial bool
@@ -79,6 +85,36 @@ type planAttr struct {
 	// check is the resolved type checker; nil means the type always
 	// passes (String/Enum/unknown defs).
 	check func(v string, img *sysimage.Image) (syntacticOK, semanticOK bool)
+}
+
+// sortedHist converts a training histogram map into the plan's sorted
+// slice form (nil for an empty histogram, matching the spec encoding).
+func sortedHist(m map[string]int) []PlanSpecHistEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	hist := make([]PlanSpecHistEntry, 0, len(m))
+	for v, n := range m {
+		hist = append(hist, PlanSpecHistEntry{Value: v, Count: n})
+	}
+	sort.Slice(hist, func(a, b int) bool { return hist[a].Value < hist[b].Value })
+	return hist
+}
+
+// histHas reports whether v appeared in training — binary search over the
+// sorted histogram. Attributes diverse enough for this to matter are
+// suspSkip'd anyway, so the searched slices stay small.
+func (pa *planAttr) histHas(v string) bool {
+	lo, hi := 0, len(pa.hist)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pa.hist[mid].Value < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(pa.hist) && pa.hist[lo].Value == v
 }
 
 // nameCand is one candidate for nearest-name search.
@@ -110,7 +146,7 @@ func charSig(s string) uint64 {
 // training view, rules, templates, and assembler.
 func (dt *Detector) Compile() *Plan {
 	attrs := dt.Training.Attributes()
-	inf := dt.Assembler.Inferencer
+	checkers := newCheckerCache(dt.Assembler.Inferencer)
 	p := &Plan{
 		samples:   dt.Training.Samples(),
 		suspLimit: dt.SuspiciousValueLimit,
@@ -118,37 +154,21 @@ func (dt *Detector) Compile() *Plan {
 		attrStore: make([]planAttr, len(attrs)),
 		attrs:     make(map[string]*planAttr, len(attrs)),
 		types:     make(map[string]conftypes.Type, len(attrs)),
-		names:     make(map[string]string, len(attrs)),
+		names:     make(map[string]string, 8),
 	}
 	for i, a := range attrs {
-		hist := dt.Training.Histogram(a.Name)
-		card := len(hist)
+		hist := sortedHist(dt.Training.Histogram(a.Name))
 		pa := &p.attrStore[i]
 		*pa = planAttr{
 			decl:    a,
 			has:     dt.Training.Present(a.Name) > 0,
 			hist:    hist,
-			card:    card,
+			card:    len(hist),
 			trivial: a.Type.IsTrivial(),
-			check:   compileChecker(inf, a.Type),
+			check:   checkers.get(a.Type),
 		}
-		pa.typeScore = 50.0
-		if card == 1 {
-			pa.typeScore = 90
-		} else if card > 1 {
-			pa.typeScore = 50 + 30/float64(card)
-		}
-		if card == 1 {
-			pa.suspScore = 70
-			if a.Augmented {
-				pa.suspScore = 75
-			}
-		} else {
-			pa.suspScore = 5 * stats.ICF(card, p.samples)
-		}
-		pa.suspSkip = card*2 >= p.samples
+		pa.deriveScores(p.samples)
 		p.attrs[a.Name] = pa
-		p.names[a.Name] = a.Name
 		if !a.Augmented {
 			p.nameIdx = append(p.nameIdx, nameCand{name: a.Name, sig: charSig(a.Name)})
 		}
@@ -156,7 +176,9 @@ func (dt *Detector) Compile() *Plan {
 	if dt.TrainingTypes != nil {
 		for _, a := range dt.TrainingTypes.Attributes() {
 			p.types[a.Name] = a.Type
-			p.names[a.Name] = a.Name
+			if _, ok := p.attrs[a.Name]; !ok {
+				p.names[a.Name] = a.Name
+			}
 		}
 	}
 	for _, r := range dt.Rules {
@@ -168,8 +190,53 @@ func (dt *Detector) Compile() *Plan {
 	return p
 }
 
+// deriveScores computes the per-attribute check parameters that follow
+// from the histogram cardinality, the Augmented flag, and the sample
+// count. Compile and NewPlanFromSpec both go through it, so a plan rebuilt
+// from its serialized spec is arithmetically identical to the originally
+// compiled one.
+func (pa *planAttr) deriveScores(samples int) {
+	pa.typeScore = 50.0
+	if pa.card == 1 {
+		pa.typeScore = 90
+	} else if pa.card > 1 {
+		pa.typeScore = 50 + 30/float64(pa.card)
+	}
+	if pa.card == 1 {
+		pa.suspScore = 70
+		if pa.decl.Augmented {
+			pa.suspScore = 75
+		}
+	} else {
+		pa.suspScore = 5 * stats.ICF(pa.card, samples)
+	}
+	pa.suspSkip = pa.card*2 >= samples
+}
+
+// checkerCache memoizes compileChecker per type for one plan build: the
+// distinct-type count is tiny next to the attribute count, so caching
+// avoids re-resolving the def and re-allocating an identical closure for
+// every attribute.
+type checkerCache struct {
+	inf   *conftypes.Inferencer
+	byTyp map[conftypes.Type]func(string, *sysimage.Image) (bool, bool)
+}
+
+func newCheckerCache(inf *conftypes.Inferencer) *checkerCache {
+	return &checkerCache{inf: inf, byTyp: make(map[conftypes.Type]func(string, *sysimage.Image) (bool, bool), 16)}
+}
+
+func (cc *checkerCache) get(t conftypes.Type) func(string, *sysimage.Image) (bool, bool) {
+	if c, ok := cc.byTyp[t]; ok {
+		return c
+	}
+	c := compileChecker(cc.inf, t)
+	cc.byTyp[t] = c
+	return c
+}
+
 // compileChecker resolves Inferencer.CheckValue's type dispatch once per
-// attribute. A nil checker means every value passes both steps.
+// type. A nil checker means every value passes both steps.
 func compileChecker(inf *conftypes.Inferencer, t conftypes.Type) func(string, *sysimage.Image) (bool, bool) {
 	switch t {
 	case conftypes.TypeString, "":
@@ -323,6 +390,9 @@ func (s *scratch) TypeOf(name, value string) conftypes.Type {
 
 // InternName implements assemble.TargetSink.
 func (s *scratch) InternName(name []byte) string {
+	if pa, ok := s.p.attrs[string(name)]; ok {
+		return pa.decl.Name
+	}
 	if n, ok := s.p.names[string(name)]; ok {
 		return n
 	}
@@ -511,7 +581,7 @@ func (p *Plan) checkSuspicious(s *scratch, ws []*Warning) []*Warning {
 			continue
 		}
 		for _, v := range values {
-			if pa.hist[v] > 0 {
+			if pa.histHas(v) {
 				continue
 			}
 			sus = append(sus, &Warning{

@@ -73,6 +73,52 @@ func Bytes(b []byte) string {
 	return s
 }
 
+// BytesInto fills dst[i] with the canonical string for at(i), exactly as
+// per-element Bytes calls would, but amortizes table locking: one read
+// lock for the whole batch, and one write lock only if the batch had
+// misses. Decoding a plan's string table is hundreds of lookups back to
+// back — per-call locking is measurable there. at is called with
+// 0..len(dst)-1 and must be pure (it runs twice for missed indices).
+func BytesInto(dst []string, at func(i int) []byte) {
+	table.RLock()
+	misses := 0
+	for i := range dst {
+		b := at(i)
+		if len(b) == 0 {
+			dst[i] = ""
+			continue
+		}
+		c, ok := table.m[string(b)]
+		if !ok {
+			misses++
+			dst[i] = ""
+			continue
+		}
+		dst[i] = c
+	}
+	table.RUnlock()
+	if misses == 0 {
+		return
+	}
+	table.Lock()
+	defer table.Unlock()
+	for i := range dst {
+		b := at(i)
+		if dst[i] != "" || len(b) == 0 {
+			continue
+		}
+		if c, ok := table.m[string(b)]; ok {
+			dst[i] = c
+			continue
+		}
+		s := string(b)
+		if len(table.m) < MaxEntries {
+			table.m[s] = s
+		}
+		dst[i] = s
+	}
+}
+
 // Len reports the current table size (for tests and diagnostics).
 func Len() int {
 	table.RLock()

@@ -1,0 +1,56 @@
+package planio
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanDecode feeds arbitrary bytes to Decode. The invariants mirror
+// the confparse fuzz harness: hostile input must produce an error, never a
+// panic and never an input-disproportionate allocation (the count guards
+// make the largest possible allocation linear in the input size). Inputs
+// that do decode must re-encode and decode again to the same spec — the
+// canonical-encoding property, checked from arbitrary entry points.
+func FuzzPlanDecode(f *testing.F) {
+	valid := Encode(testSpec())
+	f.Add(valid)
+	// Truncations at section-ish boundaries.
+	f.Add(valid[:headerSize+trailerSize])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-trailerSize])
+	// Version and flag skew with a refreshed checksum, so the payload
+	// parser (not just the header gate) gets explored.
+	skew := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(skew[4:6], Version+1)
+	f.Add(refixCRC(skew))
+	flagged := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(flagged[6:8], 1)
+	f.Add(refixCRC(flagged))
+	// Flipped payload byte with a refreshed checksum — parser-level
+	// corruption rather than checksum-gate rejection.
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(refixCRC(flip))
+	// Degenerate inputs.
+	f.Add([]byte{})
+	f.Add([]byte("ENCP"))
+	f.Add([]byte("ENCP\x01\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must round-trip through the canonical
+		// encoding.
+		out := Encode(spec)
+		again, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded accepted input failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, spec) {
+			t.Fatal("accepted input did not round-trip through the canonical encoding")
+		}
+	})
+}

@@ -1,0 +1,444 @@
+// Package planio serializes compiled check plans (detect.PlanSpec) to a
+// compact, versioned binary format, so a scanner cold-starts from an
+// `app.plan` file in milliseconds instead of re-learning or re-compiling.
+//
+// Format v1 (all integers little-endian; "uvarint" is encoding/binary's
+// unsigned varint):
+//
+//	magic   4 bytes  "ENCP"
+//	version uint16   currently 1; any other value is rejected
+//	flags   uint16   reserved, must be 0
+//	payload          (see below)
+//	crc32   uint32   IEEE checksum of everything before the trailer
+//
+// The payload begins with a deduplicated string table — every attribute
+// name, type name, histogram value, and rule field is stored once, in
+// first-reference order, and referenced by index thereafter — followed by
+// the plan sections:
+//
+//	strings  uvarint count, then per string: uvarint length + bytes
+//	header   uvarint samples, uvarint suspLimit
+//	attrs    uvarint count, uvarint total histogram entries (so the
+//	         decoder carves every histogram from one arena allocation),
+//	         then per attribute:
+//	           uvarint nameRef, uvarint typeRef,
+//	           1 flag byte (bit0 augmented, bit1 has),
+//	           8-byte presence signature (misspelling prefilter),
+//	           uvarint histLen + histLen × (uvarint valueRef, uvarint count)
+//	types    uvarint count × (uvarint nameRef, uvarint typeRef)
+//	rules    uvarint count, then per rule:
+//	           uvarint templateRef, specRef, attrARef, attrBRef,
+//	           uvarint support, uvarint valid,
+//	           3 × 8-byte float64 bits (confidence, entropyA, entropyB)
+//
+// Decoding is hardened against hostile input: the checksum is verified
+// first, every declared count is bounds-checked against the bytes that
+// remain (so a corrupt length cannot trigger a huge allocation), string
+// references are range-checked, and all failures return errors — never
+// panics. Decoded strings go through internal/intern, so loading a plan
+// whose vocabulary overlaps a scanned corpus allocates almost no new
+// string storage.
+package planio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/conftypes"
+	"repro/internal/detect"
+	"repro/internal/intern"
+	"repro/internal/rules"
+)
+
+// Version is the current binary format version.
+const Version = 1
+
+// magic identifies a binary plan file.
+const magic = "ENCP"
+
+// headerSize is magic + version + flags; trailerSize is the CRC32.
+const (
+	headerSize  = 4 + 2 + 2
+	trailerSize = 4
+)
+
+// attrMinBytes / histMinBytes / typeMinBytes / ruleMinBytes are the
+// smallest possible encodings of one element of each section, used to
+// bounds-check declared counts before allocating.
+const (
+	histMinBytes = 2 // valueRef + count, one byte each
+	attrMinBytes = 2 + 1 + 8 + 1
+	typeMinBytes = 2
+	ruleMinBytes = 4 + 2 + 3*8
+)
+
+// encoder accumulates the payload body while assigning string references
+// in first-use order; the string table is prepended at the end.
+type encoder struct {
+	body []byte
+	strs []string
+	refs map[string]uint64
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.body = binary.AppendUvarint(e.body, v)
+}
+
+func (e *encoder) str(s string) {
+	ref, ok := e.refs[s]
+	if !ok {
+		ref = uint64(len(e.strs))
+		e.refs[s] = ref
+		e.strs = append(e.strs, s)
+	}
+	e.uvarint(ref)
+}
+
+func (e *encoder) u64(v uint64) {
+	e.body = binary.LittleEndian.AppendUint64(e.body, v)
+}
+
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+// Encode serializes a plan spec to the binary plan format. Encoding the
+// same spec always yields the same bytes (the spec's own ordering is
+// deterministic and the string table follows first-use order).
+func Encode(spec *detect.PlanSpec) []byte {
+	e := &encoder{refs: make(map[string]uint64, 64)}
+	e.uvarint(uint64(spec.Samples))
+	e.uvarint(uint64(spec.SuspLimit))
+	e.uvarint(uint64(len(spec.Attrs)))
+	histTotal := 0
+	for i := range spec.Attrs {
+		histTotal += len(spec.Attrs[i].Hist)
+	}
+	e.uvarint(uint64(histTotal))
+	for i := range spec.Attrs {
+		a := &spec.Attrs[i]
+		e.str(a.Name)
+		e.str(string(a.Type))
+		var flags byte
+		if a.Augmented {
+			flags |= 1
+		}
+		if a.Has {
+			flags |= 2
+		}
+		e.body = append(e.body, flags)
+		e.u64(a.Sig)
+		e.uvarint(uint64(len(a.Hist)))
+		for _, h := range a.Hist {
+			e.str(h.Value)
+			e.uvarint(uint64(h.Count))
+		}
+	}
+	e.uvarint(uint64(len(spec.Types)))
+	for _, t := range spec.Types {
+		e.str(t.Name)
+		e.str(string(t.Type))
+	}
+	e.uvarint(uint64(len(spec.Rules)))
+	for _, r := range spec.Rules {
+		e.str(r.Template)
+		e.str(r.Spec)
+		e.str(r.AttrA)
+		e.str(r.AttrB)
+		e.uvarint(uint64(r.Support))
+		e.uvarint(uint64(r.Valid))
+		e.f64(r.Confidence)
+		e.f64(r.EntropyA)
+		e.f64(r.EntropyB)
+	}
+
+	// Assemble header + string table + body, then the CRC trailer.
+	size := headerSize + len(e.body) + trailerSize
+	table := binary.AppendUvarint(nil, uint64(len(e.strs)))
+	for _, s := range e.strs {
+		table = binary.AppendUvarint(table, uint64(len(s)))
+		table = append(table, s...)
+	}
+	out := make([]byte, 0, size+len(table))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, 0) // flags
+	out = append(out, table...)
+	out = append(out, e.body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// decoder walks the payload with bounds-checked reads.
+type decoder struct {
+	data []byte
+	pos  int
+	strs []string
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	// Fast path: one-byte varints are the overwhelming majority (string
+	// refs, counts, histogram buckets), and this avoids binary.Uvarint's
+	// call and loop for them.
+	if d.pos < len(d.data) {
+		if b := d.data[d.pos]; b < 0x80 {
+			d.pos++
+			return uint64(b), nil
+		}
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("planio: truncated or malformed %s at offset %d", what, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a uvarint element count and rejects values that could not
+// possibly fit in the remaining bytes at minBytes per element — the guard
+// that keeps corrupt input from driving a huge allocation.
+func (d *decoder) count(what string, minBytes int) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()/minBytes) {
+		return 0, fmt.Errorf("planio: %s count %d exceeds remaining payload (%d bytes)", what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+// intVal reads a uvarint that must fit in a non-negative int.
+func (d *decoder) intVal(what string) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt64/2 {
+		return 0, fmt.Errorf("planio: %s value %d out of range", what, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) str(what string) (string, error) {
+	ref, err := d.uvarint(what)
+	if err != nil {
+		return "", err
+	}
+	if ref >= uint64(len(d.strs)) {
+		return "", fmt.Errorf("planio: %s string reference %d out of range (table has %d)", what, ref, len(d.strs))
+	}
+	return d.strs[ref], nil
+}
+
+func (d *decoder) u64(what string) (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("planio: truncated %s at offset %d", what, d.pos)
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) f64(what string) (float64, error) {
+	v, err := d.u64(what)
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) byte(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("planio: truncated %s at offset %d", what, d.pos)
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// Decode parses a binary plan produced by Encode. Corrupt, truncated, or
+// version-skewed input returns an error; Decode never panics and never
+// allocates more than the input's size warrants.
+func Decode(data []byte) (*detect.PlanSpec, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, fmt.Errorf("planio: input too short (%d bytes) for a plan file", len(data))
+	}
+	if uint64(len(data)) >= 1<<40 {
+		return nil, fmt.Errorf("planio: input too large (%d bytes) for a plan file", len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("planio: bad magic %q (not a binary plan)", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("planio: unsupported plan version %d (this build reads version %d)", v, Version)
+	}
+	if f := binary.LittleEndian.Uint16(data[6:8]); f != 0 {
+		return nil, fmt.Errorf("planio: unsupported plan flags %#x", f)
+	}
+	body := data[:len(data)-trailerSize]
+	want := binary.LittleEndian.Uint32(data[len(data)-trailerSize:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("planio: checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+
+	d := &decoder{data: body, pos: headerSize}
+	nStrs, err := d.count("string table", 1)
+	if err != nil {
+		return nil, err
+	}
+	// Parse the raw table first, then intern the whole batch under one
+	// lock acquisition instead of one per string. Spans pack offset and
+	// length into one word each so the scratch slice carries no pointers.
+	d.strs = make([]string, nStrs)
+	spans := make([]uint64, nStrs)
+	for i := 0; i < nStrs; i++ {
+		n, err := d.uvarint("string length")
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.remaining()) {
+			return nil, fmt.Errorf("planio: string %d length %d exceeds remaining payload", i, n)
+		}
+		if n >= 1<<24 {
+			return nil, fmt.Errorf("planio: string %d length %d exceeds the 16MB per-string limit", i, n)
+		}
+		spans[i] = uint64(d.pos)<<24 | n
+		d.pos += int(n)
+	}
+	intern.BytesInto(d.strs, func(i int) []byte {
+		sp := spans[i]
+		off := sp >> 24
+		return d.data[off : off+sp&(1<<24-1)]
+	})
+
+	spec := &detect.PlanSpec{}
+	if spec.Samples, err = d.intVal("samples"); err != nil {
+		return nil, err
+	}
+	if spec.SuspLimit, err = d.intVal("suspicious-value limit"); err != nil {
+		return nil, err
+	}
+
+	nAttrs, err := d.count("attribute", attrMinBytes)
+	if err != nil {
+		return nil, err
+	}
+	histTotal, err := d.count("histogram total", histMinBytes)
+	if err != nil {
+		return nil, err
+	}
+	// All histograms share one arena so decoding allocates per section, not
+	// per attribute; each attribute takes a full-capacity subslice.
+	var histArena []detect.PlanSpecHistEntry
+	if histTotal > 0 {
+		histArena = make([]detect.PlanSpecHistEntry, histTotal)
+	}
+	histUsed := 0
+	spec.Attrs = make([]detect.PlanSpecAttr, nAttrs)
+	for i := 0; i < nAttrs; i++ {
+		a := &spec.Attrs[i]
+		if a.Name, err = d.str("attribute name"); err != nil {
+			return nil, err
+		}
+		var ty string
+		if ty, err = d.str("attribute type"); err != nil {
+			return nil, err
+		}
+		a.Type = conftypes.Type(ty)
+		flags, err := d.byte("attribute flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags&^3 != 0 {
+			return nil, fmt.Errorf("planio: attribute %q has unknown flag bits %#x", a.Name, flags)
+		}
+		a.Augmented = flags&1 != 0
+		a.Has = flags&2 != 0
+		if a.Sig, err = d.u64("attribute signature"); err != nil {
+			return nil, err
+		}
+		nHist, err := d.count("histogram", histMinBytes)
+		if err != nil {
+			return nil, err
+		}
+		if nHist > 0 {
+			if nHist > histTotal-histUsed {
+				return nil, fmt.Errorf("planio: attribute %q histogram length %d exceeds declared total %d", a.Name, nHist, histTotal)
+			}
+			a.Hist = histArena[histUsed : histUsed+nHist : histUsed+nHist]
+			histUsed += nHist
+			for j := 0; j < nHist; j++ {
+				h := &a.Hist[j]
+				if h.Value, err = d.str("histogram value"); err != nil {
+					return nil, err
+				}
+				if h.Count, err = d.intVal("histogram count"); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if histUsed != histTotal {
+		return nil, fmt.Errorf("planio: histogram total %d does not match entries present (%d)", histTotal, histUsed)
+	}
+
+	nTypes, err := d.count("type declaration", typeMinBytes)
+	if err != nil {
+		return nil, err
+	}
+	spec.Types = make([]detect.PlanSpecType, nTypes)
+	for i := range spec.Types {
+		t := &spec.Types[i]
+		if t.Name, err = d.str("type declaration name"); err != nil {
+			return nil, err
+		}
+		var ty string
+		if ty, err = d.str("type declaration type"); err != nil {
+			return nil, err
+		}
+		t.Type = conftypes.Type(ty)
+	}
+
+	nRules, err := d.count("rule", ruleMinBytes)
+	if err != nil {
+		return nil, err
+	}
+	spec.Rules = make([]*rules.Rule, nRules)
+	ruleArena := make([]rules.Rule, nRules)
+	for i := range spec.Rules {
+		r := &ruleArena[i]
+		if r.Template, err = d.str("rule template"); err != nil {
+			return nil, err
+		}
+		if r.Spec, err = d.str("rule spec"); err != nil {
+			return nil, err
+		}
+		if r.AttrA, err = d.str("rule attrA"); err != nil {
+			return nil, err
+		}
+		if r.AttrB, err = d.str("rule attrB"); err != nil {
+			return nil, err
+		}
+		if r.Support, err = d.intVal("rule support"); err != nil {
+			return nil, err
+		}
+		if r.Valid, err = d.intVal("rule valid"); err != nil {
+			return nil, err
+		}
+		if r.Confidence, err = d.f64("rule confidence"); err != nil {
+			return nil, err
+		}
+		if r.EntropyA, err = d.f64("rule entropyA"); err != nil {
+			return nil, err
+		}
+		if r.EntropyB, err = d.f64("rule entropyB"); err != nil {
+			return nil, err
+		}
+		spec.Rules[i] = r
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("planio: %d trailing bytes after rule section", d.remaining())
+	}
+	return spec, nil
+}

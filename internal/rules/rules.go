@@ -158,6 +158,10 @@ type inferTally struct {
 	rules         []*Rule
 	stats         Stats
 	prunedSupport int64 // candidates killed by the bitset before any Validate call
+
+	// cands captures each candidate's evaluation tally when the run feeds
+	// an InferState (see incremental.go); nil when capture is off.
+	cands []capturedCand
 }
 
 func (t *inferTally) record(r *Rule, reason rejectReason) {
@@ -186,6 +190,7 @@ func (t *inferTally) merge(o *inferTally) {
 	t.stats.ConfidenceRejected += o.stats.ConfidenceRejected
 	t.stats.EntropyRejected += o.stats.EntropyRejected
 	t.prunedSupport += o.prunedSupport
+	t.cands = append(t.cands, o.cands...)
 }
 
 // Infer learns concrete rules from the dataset. images maps system ID to
@@ -196,6 +201,15 @@ func (t *inferTally) merge(o *inferTally) {
 // the full instantiation space (millions of structs in the untyped
 // ablation's worst case) is never materialized.
 func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []*Rule {
+	rules, _ := e.infer(d, images, false)
+	return rules
+}
+
+// infer is the shared body of Infer and InferWithState. When capture is
+// set, every candidate's evaluation tally is collected (via the worker
+// tallies, so the hot loop still touches no shared state) and returned for
+// the caller to fold into an InferState.
+func (e *Engine) infer(d *dataset.Dataset, images map[string]*sysimage.Image, capture bool) ([]*Rule, []capturedCand) {
 	defer e.Telemetry.StartStage(telemetry.StageRulesInfer)()
 	ix := d.Index()
 	ctxs := e.contexts(d, images)
@@ -228,14 +242,20 @@ func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []
 				if timed {
 					start = time.Now()
 				}
-				r, reason, pruned := e.evaluateIndexed(ix, ctxs, c)
+				r, reason, ct := e.evaluateCandidate(ix, ctxs, c)
 				if timed {
 					local.Observe(time.Since(start))
 				}
 				n++
 				t.record(r, reason)
-				if pruned {
+				if !ct.validated {
 					t.prunedSupport++
+				}
+				if capture {
+					t.cands = append(t.cands, capturedCand{
+						key:   candKey{tpl: c.tpl.ID, attrA: c.attrA, attrB: c.attrB},
+						tally: ct,
+					})
 				}
 			}
 			e.Telemetry.MergeHistogram(telemetry.HistRuleValidate, &local)
@@ -266,7 +286,7 @@ func (e *Engine) Infer(d *dataset.Dataset, images map[string]*sysimage.Image) []
 		"pruned_support", total.prunedSupport, "pruned_entropy", total.stats.EntropyRejected)
 	rules := total.rules
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
-	return rules
+	return rules, total.cands
 }
 
 // rejectReason records why a candidate did not become a rule.
@@ -384,7 +404,20 @@ func (e *Engine) contexts(d *dataset.Dataset, images map[string]*sysimage.Image)
 	e.ctxMu.Lock()
 	defer e.ctxMu.Unlock()
 	if e.ctxData == d && e.ctxImgsKey == key && len(e.ctxs) == len(d.Rows) {
-		return e.ctxs
+		// The dataset is mutable (AddRows/RetireRows shift rows in place),
+		// so a matching length is not proof the memo is current — an add
+		// followed by an equal-sized retire leaves the count unchanged with
+		// different rows. Verify row identity before trusting the hit.
+		fresh := true
+		for i, ctx := range e.ctxs {
+			if ctx.Row != d.Rows[i] {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			return e.ctxs
+		}
 	}
 	ctxs := make([]*templates.Ctx, len(d.Rows))
 	for i, row := range d.Rows {
@@ -394,22 +427,29 @@ func (e *Engine) contexts(d *dataset.Dataset, images map[string]*sysimage.Image)
 	return ctxs
 }
 
-// evaluateIndexed validates one candidate using the columnar index:
+// evaluateCandidate validates one candidate using the columnar index:
 // support comes from the presence bitsets, the validation sweep visits
 // only co-occurrence rows, and the entropy filter reads memoized values.
-// pruned reports that the candidate died on the support filter before any
-// Validate call. A nil rule is accompanied by the reason the candidate
-// died; the classification is identical to evaluateSerial's.
-func (e *Engine) evaluateIndexed(ix *dataset.Index, ctxs []*templates.Ctx, c candidate) (_ *Rule, _ rejectReason, pruned bool) {
+// The returned candTally carries the raw counts (for incremental
+// maintenance, see incremental.go); tally.validated is false when the
+// candidate died on the support filter before any Validate call. A nil
+// rule is accompanied by the reason the candidate died; the
+// classification is identical to evaluateSerial's.
+func (e *Engine) evaluateCandidate(ix *dataset.Index, ctxs []*templates.Ctx, c candidate) (*Rule, rejectReason, candTally) {
 	total := len(ctxs)
 	support := ix.CoSupport(c.attrA, c.attrB)
 	if total == 0 || support == 0 {
-		return nil, noEvidence, true
+		return nil, noEvidence, candTally{support: support}
 	}
 	if stats.SupportFraction(support, total) < e.Config.MinSupportFraction {
-		return nil, supportRejected, true
+		return nil, supportRejected, candTally{support: support}
 	}
 	bitsA, bitsB := ix.PresenceBits(c.attrA), ix.PresenceBits(c.attrB)
+	// Delta index snapshots share untouched columns with pre-delta bitset
+	// lengths (implicit zero high words); clamp to the shorter set.
+	if len(bitsB) < len(bitsA) {
+		bitsA = bitsA[:len(bitsB)]
+	}
 	rowsA, rowsB := ix.RowValues(c.attrA), ix.RowValues(c.attrB)
 	applicable, valid := 0, 0
 	for w, wa := range bitsA {
@@ -428,7 +468,7 @@ func (e *Engine) evaluateIndexed(ix *dataset.Index, ctxs []*templates.Ctx, c can
 		}
 	}
 	r, reason := e.finish(c, total, support, applicable, valid, ix.Entropy(c.attrA), ix.Entropy(c.attrB))
-	return r, reason, false
+	return r, reason, candTally{support: support, applicable: applicable, valid: valid, validated: true}
 }
 
 // evaluateSerial validates one candidate with plain per-row lookups and no

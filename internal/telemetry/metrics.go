@@ -33,19 +33,25 @@ import (
 // Prometheus metric names. Counters not listed here are exposed under the
 // generic sanitized fallback.
 var promCounterNames = map[string]string{
-	CounterImagesParsed:       "encore_assemble_images_parsed_total",
-	CounterFilesParsed:        "encore_assemble_files_parsed_total",
-	CounterAttrsDeclared:      "encore_assemble_attributes_declared_total",
-	CounterRulesValidated:     "encore_rules_candidates_validated_total",
-	CounterRulesKept:          "encore_rules_kept_total",
-	CounterRulesPrunedSupport: "encore_rules_pruned_support_total",
-	CounterRulesPrunedEntropy: "encore_rules_pruned_entropy_total",
-	CounterImagesScanned:      "encore_scan_images_total",
-	CounterFindingsEmitted:    "encore_scan_findings_total",
-	CounterScanErrors:         "encore_scan_errors_total",
-	CounterMatrixCells:        "encore_evalmatrix_cells_total",
-	CounterMatrixInjections:   "encore_evalmatrix_injections_total",
-	CounterMatrixFindings:     "encore_evalmatrix_findings_total",
+	CounterImagesParsed:          "encore_assemble_images_parsed_total",
+	CounterFilesParsed:           "encore_assemble_files_parsed_total",
+	CounterAttrsDeclared:         "encore_assemble_attributes_declared_total",
+	CounterRulesValidated:        "encore_rules_candidates_validated_total",
+	CounterRulesKept:             "encore_rules_kept_total",
+	CounterRulesPrunedSupport:    "encore_rules_pruned_support_total",
+	CounterRulesPrunedEntropy:    "encore_rules_pruned_entropy_total",
+	CounterRulesDeltaReused:      "encore_rules_delta_reused_total",
+	CounterRulesDeltaRevalidated: "encore_rules_delta_revalidated_total",
+	CounterPlanEncoded:           "encore_plan_encoded_total",
+	CounterPlanEncodedBytes:      "encore_plan_encoded_bytes_total",
+	CounterPlanLoaded:            "encore_plan_loaded_total",
+	CounterPlanLoadedBytes:       "encore_plan_loaded_bytes_total",
+	CounterImagesScanned:         "encore_scan_images_total",
+	CounterFindingsEmitted:       "encore_scan_findings_total",
+	CounterScanErrors:            "encore_scan_errors_total",
+	CounterMatrixCells:           "encore_evalmatrix_cells_total",
+	CounterMatrixInjections:      "encore_evalmatrix_injections_total",
+	CounterMatrixFindings:        "encore_evalmatrix_findings_total",
 }
 
 // promSanitize rewrites an internal dotted name into a metric-name-safe

@@ -43,9 +43,20 @@ const (
 	// variant counts candidates the memoized entropy filter rejected.
 	CounterRulesPrunedSupport = "rules.pruned.support"
 	CounterRulesPrunedEntropy = "rules.pruned.entropy"
-	CounterImagesScanned      = "scan.images.scanned"
-	CounterFindingsEmitted    = "scan.findings.emitted"
-	CounterScanErrors         = "scan.errors"
+	// Incremental-inference counters: candidates whose cached tally was
+	// adjusted in O(Δrows) versus candidates that paid a full validation
+	// sweep (new, type-shifted, stale state, or newly support-eligible).
+	CounterRulesDeltaReused      = "rules.delta.reused"
+	CounterRulesDeltaRevalidated = "rules.delta.revalidated"
+	// Compiled-plan serialization counters: plans encoded to / loaded from
+	// the binary format, with byte-volume twins for sizing dashboards.
+	CounterPlanEncoded      = "plan.encoded"
+	CounterPlanEncodedBytes = "plan.encoded.bytes"
+	CounterPlanLoaded       = "plan.loaded"
+	CounterPlanLoadedBytes  = "plan.loaded.bytes"
+	CounterImagesScanned    = "scan.images.scanned"
+	CounterFindingsEmitted  = "scan.findings.emitted"
+	CounterScanErrors       = "scan.errors"
 	// Evaluation-matrix counters: grid cells scored, ground-truth errors
 	// injected into victim images (counted once per (population, kind)
 	// victim set, which every configuration shares), and findings emitted
