@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: tier1 tier2 smoke eval-matrix eval-matrix-smoke bench bench-rules bench-scan bench-check bench-plan bench-all bench-smoke fuzz fmt
+# Build version stamped into the binary (encore -version, /v1/status, and
+# the encore_build_info metric). Falls back to "dev" outside a git clone.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+
+.PHONY: tier1 tier2 smoke serve-smoke eval-matrix eval-matrix-smoke build bench bench-rules bench-scan bench-check bench-plan bench-serve bench-all bench-smoke fuzz fmt
+
+# Stamped CLI binary: bin/encore reports $(VERSION) via `encore version`.
+build:
+	$(GO) build -ldflags "-X main.version=$(VERSION)" -o bin/encore ./cmd/encore
 
 # Tier 1: the gate every change must keep green — build + full test suite.
 tier1:
@@ -33,6 +41,12 @@ smoke:
 		-matrix-out $(SMOKE_DIR)/matrix.json >/dev/null
 	grep -q '"version": 1' $(SMOKE_DIR)/matrix.json
 	@echo "smoke: telemetry exporters + matrix JSON OK"
+
+# Serve smoke: boot the resident daemon on a random port, upload a plan,
+# scan a misconfigured image, assert findings + per-app metrics labels,
+# then SIGTERM it and require a clean exit.
+serve-smoke:
+	VERSION=$(VERSION) ./scripts/serve_smoke.sh
 
 # Regenerate the checked-in evaluation matrix: every error class × every
 # app population × every detector configuration at the default seed.
@@ -90,14 +104,24 @@ bench-plan:
 	@grep -o '"Output":"[^"]*"' BENCH_plan.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
+# Resident-daemon throughput trajectory: full-stack scan requests over
+# real HTTP (decode + registry load + Plan.Check + report render),
+# recorded machine-readably like the other bench families. ns/op is the
+# request latency floor; allocs/op the per-request allocation budget.
+bench-serve:
+	$(GO) test -run '^$$' -bench=ServeScan -benchmem -json ./internal/serve > BENCH_serve.json.tmp && mv BENCH_serve.json.tmp BENCH_serve.json
+	@grep -o '"Output":"[^"]*"' BENCH_serve.json | sed 's/^"Output":"//;s/"$$//' | \
+		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
+
 # Refresh every recorded benchmark file in one go.
-bench-all: bench-rules bench-scan bench-check bench-plan
+bench-all: bench-rules bench-scan bench-check bench-plan bench-serve
 
 # One-iteration pass over the recorded benchmark families so CI catches
 # bench bit-rot without paying for stable measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench='BatchScan|RuleInference|DetectorCheck|ProfileCheck|PlanCheck|PlanColdStart|IncrementalInfer' \
 		-benchtime 1x -benchmem . >/dev/null
+	$(GO) test -run '^$$' -bench=ServeScan -benchtime 1x -benchmem ./internal/serve >/dev/null
 	@echo "bench-smoke: benchmarks build and run OK"
 
 # Short fuzz pass over each config-parser dialect (seed corpus always

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -26,6 +27,15 @@ import (
 	"repro/internal/sysimage"
 	"repro/internal/telemetry"
 )
+
+// version is the build version, stamped by the Makefile via
+// -ldflags "-X main.version=...". It feeds `encore -version`, the serve
+// daemon's /v1/status, and the encore_build_info metric.
+var version = "dev"
+
+func goVersion() string {
+	return fmt.Sprintf("%s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -48,6 +58,10 @@ func main() {
 		err = runRules(os.Args[2:])
 	case "collect":
 		err = runCollect(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "version", "-version", "--version":
+		printVersion()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,6 +85,8 @@ func usage() {
   encore rules    (-training DIR | -profile FILE) [-custom FILE]
   encore collect  -root DIR -id NAME -app NAME=RELPATH [-app ...] -out FILE
   encore assemble -training DIR [-csv FILE]
+  encore serve    [-addr HOST:PORT] [-plans DIR] [-shutdown-timeout DUR] [-stats-json FILE]
+  encore version
 
 telemetry flags (learn/check/scan):
   -stats             print pipeline counters, stage timings, and latency quantiles to stderr

@@ -46,6 +46,10 @@ type Flags struct {
 	// Hooks is consulted around the metrics server lifecycle (tests).
 	Hooks ServeHooks
 
+	// Version, when set by the CLI (stamped via -ldflags), is recorded as
+	// build info so live /metrics runs expose encore_build_info.
+	Version string
+
 	// Rec is the recorder Start attached (nil when no telemetry sink was
 	// requested — every Recorder method is nil-safe).
 	Rec *Recorder
@@ -88,6 +92,9 @@ func (f *Flags) Start(phase string) error {
 	if f.Stats || f.StatsJSON != "" || f.TraceOut != "" || f.Serving() {
 		f.Rec = New()
 		f.Rec.SetPhase(phase)
+		if f.Version != "" {
+			f.Rec.SetBuildInfo(f.Version)
+		}
 		f.sampler = NewSampler(f.SampleEvery, 0)
 		f.Rec.AttachSampler(f.sampler)
 		f.sampler.Start()

@@ -28,6 +28,37 @@ type exportFile struct {
 	Histograms []exportHist   `json:"histograms"`
 	Runtime    *exportRuntime `json:"runtime,omitempty"`
 	Spans      []exportSpan   `json:"spans"`
+	// Optional sections added for the resident scan daemon; absent (not
+	// rendered) for pipelines that never record them, which keeps the
+	// pre-daemon goldens byte-identical without a version bump.
+	Build             *exportBuild        `json:"build,omitempty"`
+	LabeledCounters   []exportLabeled     `json:"labeledCounters,omitempty"`
+	Gauges            []exportGauge       `json:"gauges,omitempty"`
+	LabeledHistograms []exportLabeledHist `json:"labeledHistograms,omitempty"`
+}
+
+// exportBuild is the SetBuildInfo metadata.
+type exportBuild struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+}
+
+type exportLabeled struct {
+	Family string `json:"family"`
+	Labels string `json:"labels"`
+	Value  int64  `json:"value"`
+}
+
+type exportGauge struct {
+	Family string  `json:"family"`
+	Labels string  `json:"labels"`
+	Value  float64 `json:"value"`
+}
+
+type exportLabeledHist struct {
+	Family string `json:"family"`
+	Labels string `json:"labels"`
+	exportHist
 }
 
 // exportRuntime is the Sampler's ring-buffer timeseries: process-health
@@ -86,6 +117,29 @@ type exportSpan struct {
 	DurMicros   int64  `json:"durMicros"`
 }
 
+// exportHistFrom flattens one histogram snapshot into its export shape.
+func exportHistFrom(h HistogramData) exportHist {
+	eh := exportHist{
+		Name:      h.Name,
+		Count:     h.Count,
+		SumMicros: h.Sum.Microseconds(),
+		MinMicros: h.Min.Microseconds(),
+		MaxMicros: h.Max.Microseconds(),
+		P50Micros: h.P50.Microseconds(),
+		P90Micros: h.P90.Microseconds(),
+		P99Micros: h.P99.Microseconds(),
+		Buckets:   []exportBucket{},
+	}
+	for _, b := range h.Buckets {
+		ub := b.Upper.Microseconds()
+		if b.Upper == bucketUpper(histBuckets) {
+			ub = -1
+		}
+		eh.Buckets = append(eh.Buckets, exportBucket{UpperMicros: ub, Count: b.Count})
+	}
+	return eh
+}
+
 // JSON serializes the snapshot as the versioned machine-readable document
 // behind the CLI's -stats-json flag. Field order is fixed by the export
 // structs and every list is sorted (counters/stages/histograms by name,
@@ -125,25 +179,21 @@ func (s Snapshot) JSON() ([]byte, error) {
 		f.Stages = append(f.Stages, exportStage{Name: st.Name, TotalMicros: st.Total.Microseconds(), Runs: st.Runs})
 	}
 	for _, h := range s.Histograms {
-		eh := exportHist{
-			Name:      h.Name,
-			Count:     h.Count,
-			SumMicros: h.Sum.Microseconds(),
-			MinMicros: h.Min.Microseconds(),
-			MaxMicros: h.Max.Microseconds(),
-			P50Micros: h.P50.Microseconds(),
-			P90Micros: h.P90.Microseconds(),
-			P99Micros: h.P99.Microseconds(),
-			Buckets:   []exportBucket{},
-		}
-		for _, b := range h.Buckets {
-			ub := b.Upper.Microseconds()
-			if b.Upper == bucketUpper(histBuckets) {
-				ub = -1
-			}
-			eh.Buckets = append(eh.Buckets, exportBucket{UpperMicros: ub, Count: b.Count})
-		}
-		f.Histograms = append(f.Histograms, eh)
+		f.Histograms = append(f.Histograms, exportHistFrom(h))
+	}
+	if s.BuildVersion != "" {
+		f.Build = &exportBuild{Version: s.BuildVersion, GoVersion: s.GoVersion}
+	}
+	for _, c := range s.LabeledCounters {
+		f.LabeledCounters = append(f.LabeledCounters, exportLabeled{Family: c.Family, Labels: c.Labels, Value: c.Value})
+	}
+	for _, g := range s.Gauges {
+		f.Gauges = append(f.Gauges, exportGauge{Family: g.Family, Labels: g.Labels, Value: g.Value})
+	}
+	for _, lh := range s.LabeledHistograms {
+		f.LabeledHistograms = append(f.LabeledHistograms, exportLabeledHist{
+			Family: lh.Family, Labels: lh.Labels, exportHist: exportHistFrom(lh.Data),
+		})
 	}
 	for _, sp := range s.Spans {
 		f.Spans = append(f.Spans, exportSpan{

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLabelRendering(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{L(), ""},
+		{L("app", "mysql"), `app="mysql"`},
+		{L("code", "200", "app", "mysql"), `app="mysql",code="200"`},
+		{L("app", "mysql", "code", "200"), `app="mysql",code="200"`},
+		{L("k", `a"b`), `k="a\"b"`},
+		{L("k", "v", "odd"), `k="v"`},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("L rendered %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestLabeledFamiliesSnapshotAndProm(t *testing.T) {
+	r := New()
+	app := L("app", "mysql")
+	r.AddLabeled("encore_serve_requests_total", L("app", "mysql", "code", "200"), 3)
+	r.AddLabeled("encore_serve_requests_total", L("app", "mysql", "code", "404"), 1)
+	r.AddLabeled("encore_serve_findings_total", L("app", "mysql", "severity", "high"), 7)
+	r.SetGauge("encore_serve_plans_loaded", "", 2)
+	r.SetGauge("encore_serve_plan_swaps_total_x", app, 5) // fallback help path
+	r.ObserveLabeled("encore_serve_scan_seconds", app, 100*time.Microsecond)
+	r.ObserveLabeled("encore_serve_scan_seconds", app, 3*time.Millisecond)
+
+	if got := r.LabeledCounter("encore_serve_requests_total", L("app", "mysql", "code", "200")); got != 3 {
+		t.Fatalf("LabeledCounter = %d, want 3", got)
+	}
+	if _, ok := r.Gauge("encore_serve_plans_loaded", app); ok {
+		t.Fatal("gauge read with wrong labels should miss")
+	}
+	if v, ok := r.Gauge("encore_serve_plans_loaded", ""); !ok || v != 2 {
+		t.Fatalf("Gauge = %v, %v", v, ok)
+	}
+	hd, ok := r.LabeledHistogram("encore_serve_scan_seconds", app)
+	if !ok || hd.Count != 2 || hd.P50 <= 0 {
+		t.Fatalf("LabeledHistogram = %+v, %v", hd, ok)
+	}
+
+	prom := r.Snapshot().PromText()
+	for _, want := range []string{
+		`encore_serve_requests_total{app="mysql",code="200"} 3`,
+		`encore_serve_requests_total{app="mysql",code="404"} 1`,
+		`encore_serve_findings_total{app="mysql",severity="high"} 7`,
+		"encore_serve_plans_loaded 2",
+		`encore_serve_scan_seconds_bucket{app="mysql",le="+Inf"} 2`,
+		`encore_serve_scan_seconds_count{app="mysql"} 2`,
+		"# TYPE encore_serve_scan_seconds histogram",
+		"# HELP encore_serve_requests_total Scan-service HTTP requests by app and status code.",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("PromText missing %q:\n%s", want, prom)
+		}
+	}
+
+	// Snapshot ordering is deterministic: families sorted, series sorted
+	// within each family.
+	snap := r.Snapshot()
+	if len(snap.LabeledCounters) != 3 || snap.LabeledCounters[0].Family != "encore_serve_findings_total" {
+		t.Fatalf("labeled counter order = %+v", snap.LabeledCounters)
+	}
+	if snap.LabeledCounters[1].Labels >= snap.LabeledCounters[2].Labels {
+		t.Fatalf("series not sorted: %+v", snap.LabeledCounters)
+	}
+}
+
+func TestLabeledNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.AddLabeled("f", "", 1)
+	r.SetGauge("f", "", 1)
+	r.ObserveLabeled("f", "", time.Millisecond)
+	r.SetBuildInfo("v1")
+	r.SetSpanCap(10)
+	if r.LabeledCounter("f", "") != 0 {
+		t.Fatal("nil recorder counter")
+	}
+	if _, ok := r.Gauge("f", ""); ok {
+		t.Fatal("nil recorder gauge")
+	}
+	if _, ok := r.LabeledHistogram("f", ""); ok {
+		t.Fatal("nil recorder histogram")
+	}
+}
+
+func TestLabeledJSONExportRoundTrip(t *testing.T) {
+	r := New()
+	r.SetBuildInfo("v-test")
+	r.AddLabeled("encore_serve_requests_total", L("app", "a", "code", "200"), 2)
+	r.SetGauge("encore_serve_plans_loaded", "", 1)
+	r.ObserveLabeled("encore_serve_scan_seconds", L("app", "a"), time.Millisecond)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"build"`, `"version": "v-test"`, `"goVersion": "` + runtime.Version(),
+		`"labeledCounters"`, `"gauges"`, `"labeledHistograms"`,
+		`"family": "encore_serve_requests_total"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON export missing %q", want)
+		}
+	}
+
+	// An unlabeled snapshot must not render the optional sections at all —
+	// the pre-daemon goldens depend on their absence.
+	plain, err := New().Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"labeledCounters", "gauges", "labeledHistograms", `"build"`} {
+		if strings.Contains(string(plain), absent) {
+			t.Errorf("plain JSON export unexpectedly contains %q", absent)
+		}
+	}
+}
+
+func TestBuildInfoProm(t *testing.T) {
+	r := New()
+	if prom := r.Snapshot().PromText(); strings.Contains(prom, "encore_build_info") {
+		t.Fatal("build info rendered without SetBuildInfo")
+	}
+	r.SetBuildInfo("v1.2.3")
+	prom := r.Snapshot().PromText()
+	want := `encore_build_info{go_version="` + runtime.Version() + `",version="v1.2.3"} 1`
+	if !strings.Contains(prom, want) {
+		t.Fatalf("PromText missing %q:\n%s", want, prom)
+	}
+}
+
+func TestSpanCapBoundsRetention(t *testing.T) {
+	r := New()
+	r.SetSpanCap(64)
+	for i := 0; i < 1000; i++ {
+		r.StartSpan("req").End()
+	}
+	spans := r.Snapshot().Spans
+	if len(spans) > 64 {
+		t.Fatalf("span store exceeded cap: %d", len(spans))
+	}
+	// The newest spans survive shedding.
+	maxID := int64(0)
+	for _, sp := range spans {
+		if sp.ID > maxID {
+			maxID = sp.ID
+		}
+	}
+	if maxID != 1000 {
+		t.Fatalf("newest span id = %d, want 1000", maxID)
+	}
+}
+
+func TestLabeledConcurrentUpdates(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			labels := L("app", "a")
+			for i := 0; i < 200; i++ {
+				r.AddLabeled("encore_serve_requests_total", labels, 1)
+				r.ObserveLabeled("encore_serve_scan_seconds", labels, time.Duration(i)*time.Microsecond)
+				r.SetGauge("encore_serve_plans_loaded", "", float64(i))
+				_ = r.Snapshot().PromText()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.LabeledCounter("encore_serve_requests_total", L("app", "a")); got != 1600 {
+		t.Fatalf("concurrent counter = %d, want 1600", got)
+	}
+}

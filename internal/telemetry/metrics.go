@@ -105,6 +105,27 @@ func promEscapeLabel(v string) string {
 	return v
 }
 
+// promLabeledHelp curates HELP strings for the labeled families the serve
+// daemon records; families not listed fall back to a generic line.
+var promLabeledHelp = map[string]string{
+	"encore_serve_requests_total":                   "Scan-service HTTP requests by app and status code.",
+	"encore_serve_findings_total":                   "Findings returned by scan requests, by app and severity.",
+	"encore_serve_scan_seconds":                     "Scan request latency by app (seconds).",
+	"encore_serve_plans_loaded":                     "Plans currently resident in the profile registry.",
+	"encore_serve_plan_swaps_total":                 "Hot swaps applied per app since daemon start.",
+	"encore_serve_plan_last_swap_timestamp_seconds": "Unix time of the last plan swap per app.",
+	"encore_serve_inflight_requests":                "Requests currently being served.",
+	"encore_build_info":                             "Build metadata; the value is always 1.",
+}
+
+// promLabeledHelpFor resolves a labeled family's HELP string.
+func promLabeledHelpFor(family, fallback string) string {
+	if h, ok := promLabeledHelp[family]; ok {
+		return h
+	}
+	return fallback
+}
+
 // promFamily is one metric family: the HELP/TYPE header plus its sample
 // lines, accumulated then rendered in name order.
 type promFamily struct {
@@ -131,6 +152,65 @@ func (s Snapshot) PromText() string {
 	if s.Phase != "" {
 		f := add("encore_phase", "Current pipeline phase.", "gauge")
 		f.addf(`encore_phase{phase="%s"} 1`, promEscapeLabel(s.Phase))
+	}
+
+	if s.BuildVersion != "" {
+		f := add("encore_build_info", promLabeledHelpFor("encore_build_info", "Build metadata."), "gauge")
+		f.addf(`encore_build_info{go_version="%s",version="%s"} 1`,
+			promEscapeLabel(s.GoVersion), promEscapeLabel(s.BuildVersion))
+	}
+
+	// Labeled families (see labeled.go): the snapshot's (family, labels)
+	// sort order groups every family's series contiguously, so one pass
+	// opens a family per name change.
+	var cur *promFamily
+	for _, c := range s.LabeledCounters {
+		if cur == nil || cur.name != c.Family {
+			cur = add(c.Family, promLabeledHelpFor(c.Family, "Labeled counter "+c.Family+"."), "counter")
+		}
+		if c.Labels == "" {
+			cur.addf("%s %d", c.Family, c.Value)
+			continue
+		}
+		cur.addf("%s{%s} %d", c.Family, c.Labels, c.Value)
+	}
+	cur = nil
+	for _, g := range s.Gauges {
+		if cur == nil || cur.name != g.Family {
+			cur = add(g.Family, promLabeledHelpFor(g.Family, "Labeled gauge "+g.Family+"."), "gauge")
+		}
+		if g.Labels == "" {
+			cur.addf("%s %s", g.Family, promFloat(g.Value))
+			continue
+		}
+		cur.addf("%s{%s} %s", g.Family, g.Labels, promFloat(g.Value))
+	}
+	cur = nil
+	for _, lh := range s.LabeledHistograms {
+		if cur == nil || cur.name != lh.Family {
+			cur = add(lh.Family, promLabeledHelpFor(lh.Family, "Labeled latency histogram "+lh.Family+" (seconds)."), "histogram")
+		}
+		h := lh.Data
+		sep := ""
+		if lh.Labels != "" {
+			sep = ","
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			if b.Upper == bucketUpper(histBuckets) {
+				continue
+			}
+			cum += b.Count
+			cur.addf(`%s_bucket{%s%sle="%s"} %d`, lh.Family, lh.Labels, sep, promFloat(b.Upper.Seconds()), cum)
+		}
+		cur.addf(`%s_bucket{%s%sle="+Inf"} %d`, lh.Family, lh.Labels, sep, h.Count)
+		if lh.Labels == "" {
+			cur.addf("%s_sum %s", lh.Family, promFloat(h.Sum.Seconds()))
+			cur.addf("%s_count %d", lh.Family, h.Count)
+		} else {
+			cur.addf("%s_sum{%s} %s", lh.Family, lh.Labels, promFloat(h.Sum.Seconds()))
+			cur.addf("%s_count{%s} %d", lh.Family, lh.Labels, h.Count)
+		}
 	}
 
 	for _, c := range s.Counters {

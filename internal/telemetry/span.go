@@ -105,5 +105,16 @@ func (s *Span) End() {
 	}
 	s.r.mu.Lock()
 	s.r.spans = append(s.r.spans, data)
+	// A capped recorder (resident daemons, see SetSpanCap) sheds the
+	// oldest half in one bulk move once the store overflows, so span
+	// retention is bounded while recent requests stay inspectable.
+	if s.r.spanCap > 0 && len(s.r.spans) > s.r.spanCap {
+		keep := s.r.spanCap / 2
+		if keep < 1 {
+			keep = 1
+		}
+		n := copy(s.r.spans, s.r.spans[len(s.r.spans)-keep:])
+		s.r.spans = s.r.spans[:n]
+	}
 	s.r.mu.Unlock()
 }

@@ -22,6 +22,7 @@ package telemetry
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -97,9 +98,16 @@ type Recorder struct {
 	counters map[string]int64
 	stages   map[string]stage
 	hists    map[string]*Histogram
+	labels   *labeled
 	spans    []SpanData
-	sampler  *Sampler
-	spanID   atomic.Int64
+	// spanCap bounds the retained completed spans (0 = unbounded, the
+	// batch-pipeline default). Resident daemons set a cap so span storage
+	// stays constant over hours of traffic; see SetSpanCap.
+	spanCap      int
+	buildVersion string
+	goVersion    string
+	sampler      *Sampler
+	spanID       atomic.Int64
 }
 
 type stage struct {
@@ -139,6 +147,35 @@ func (r *Recorder) Phase() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.phase
+}
+
+// SetBuildInfo records the process build version; snapshots carry it and
+// PromText exposes it as the classic info-style gauge
+// encore_build_info{version,go_version} 1. The Go toolchain version is
+// captured from the running binary. Safe on a nil recorder.
+func (r *Recorder) SetBuildInfo(version string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buildVersion = version
+	r.goVersion = runtime.Version()
+	r.mu.Unlock()
+}
+
+// SetSpanCap bounds the number of completed spans the recorder retains:
+// once the store exceeds cap, the oldest half is dropped in one bulk move
+// (amortized O(1) per span). Batch pipelines keep the unbounded default
+// so exported traces are complete; a resident daemon sets a cap so hours
+// of request spans cannot grow memory without bound. Safe on a nil
+// recorder.
+func (r *Recorder) SetSpanCap(cap int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spanCap = cap
+	r.mu.Unlock()
 }
 
 // AttachSampler folds a runtime sampler into the recorder: snapshots gain
@@ -262,6 +299,14 @@ type Snapshot struct {
 	// ring-buffer timeseries (zero/nil when no sampler is attached).
 	SampleEvery time.Duration
 	Runtime     []RuntimeSample
+	// Labeled families (see labeled.go), sorted by (family, labels); all
+	// empty for pipelines that never record labeled metrics.
+	LabeledCounters   []LabeledValue
+	Gauges            []GaugeValue
+	LabeledHistograms []LabeledHistogramData
+	// BuildVersion/GoVersion carry SetBuildInfo ("" when never set).
+	BuildVersion string
+	GoVersion    string
 }
 
 // Snapshot copies the recorder's current state. Safe on a nil recorder
@@ -283,6 +328,9 @@ func (r *Recorder) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s.Phase = r.phase
+	s.BuildVersion = r.buildVersion
+	s.GoVersion = r.goVersion
+	r.snapshotLabeled(&s)
 	for name, v := range r.counters {
 		s.Counters = append(s.Counters, CounterValue{Name: name, Value: v})
 	}
@@ -355,7 +403,30 @@ func (s Snapshot) Render() string {
 				h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond))
 		}
 	}
-	if len(s.Counters) == 0 && len(s.Stages) == 0 && len(s.Histograms) == 0 {
+	if len(s.LabeledCounters) > 0 || len(s.Gauges) > 0 {
+		b.WriteString("  labeled:\n")
+		for _, c := range s.LabeledCounters {
+			fmt.Fprintf(&b, "    %s{%s} %d\n", c.Family, c.Labels, c.Value)
+		}
+		for _, g := range s.Gauges {
+			if g.Labels == "" {
+				fmt.Fprintf(&b, "    %s %g\n", g.Family, g.Value)
+				continue
+			}
+			fmt.Fprintf(&b, "    %s{%s} %g\n", g.Family, g.Labels, g.Value)
+		}
+	}
+	if len(s.LabeledHistograms) > 0 {
+		b.WriteString("  labeled latency:\n")
+		for _, h := range s.LabeledHistograms {
+			fmt.Fprintf(&b, "    %s{%s} n=%d p50=%s p90=%s p99=%s max=%s\n",
+				h.Family, h.Labels, h.Data.Count,
+				h.Data.P50.Round(time.Microsecond), h.Data.P90.Round(time.Microsecond),
+				h.Data.P99.Round(time.Microsecond), h.Data.Max.Round(time.Microsecond))
+		}
+	}
+	if len(s.Counters) == 0 && len(s.Stages) == 0 && len(s.Histograms) == 0 &&
+		len(s.LabeledCounters) == 0 && len(s.Gauges) == 0 && len(s.LabeledHistograms) == 0 {
 		b.WriteString("  (empty)\n")
 	}
 	return b.String()

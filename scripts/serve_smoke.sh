@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end smoke of the resident scan daemon: build a stamped binary,
+# preload a compiled plan, boot on a random port, scan a deliberately
+# misconfigured image over HTTP, assert findings and per-app metrics
+# labels, hot-swap a plan upload, then SIGTERM and require exit 0.
+set -eu
+
+GO=${GO:-go}
+VERSION=${VERSION:-smoke}
+DIR=${TMPDIR:-/tmp}/encore-serve-smoke
+rm -rf "$DIR" && mkdir -p "$DIR/plans"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building stamped binary"
+$GO build -ldflags "-X main.version=$VERSION" -o "$DIR/encore" ./cmd/encore
+"$DIR/encore" version | grep -q "encore $VERSION"
+
+echo "serve-smoke: generating corpus + misconfigured victim"
+$GO run ./cmd/imagegen -app mysql -n 10 -seed 7 -out "$DIR/training" >/dev/null
+$GO run ./cmd/imagegen -app mysql -n 1 -seed 303 -out "$DIR/victim" >/dev/null
+VICTIM=$(ls "$DIR"/victim/*.json | head -1)
+$GO run ./cmd/confinject -image "$VICTIM" -app mysql -n 8 -seed 4 -out "$DIR/broken.json" >/dev/null
+"$DIR/encore" compile -training "$DIR/training" -plan-out "$DIR/plans/mysql.plan" >/dev/null
+
+echo "serve-smoke: booting daemon"
+"$DIR/encore" serve -addr 127.0.0.1:0 -addr-file "$DIR/addr" -plans "$DIR/plans" \
+    -shutdown-timeout 5s -stats-json "$DIR/stats.json" -log-level warn &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$DIR/addr" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "serve-smoke: daemon died during boot"; exit 1; }
+    sleep 0.1
+done
+[ -s "$DIR/addr" ] || { echo "serve-smoke: daemon never wrote addr-file"; exit 1; }
+BASE="http://$(cat "$DIR/addr" | tr -d '[:space:]')"
+echo "serve-smoke: daemon at $BASE"
+
+curl -fsS "$BASE/readyz" | grep -q '"ready"'
+curl -fsS "$BASE/healthz" | grep -q '"ok"'
+
+echo "serve-smoke: scanning misconfigured image"
+curl -fsS -X POST --data-binary @"$DIR/broken.json" "$BASE/v1/scan/mysql" > "$DIR/scan.json"
+grep -q '"planVersion":"v1"' "$DIR/scan.json"
+grep -q '"requestId"' "$DIR/scan.json"
+grep -q '"warnings"' "$DIR/scan.json"
+grep -q '"findings":0' "$DIR/scan.json" && { echo "serve-smoke: no findings on injected image"; exit 1; }
+
+echo "serve-smoke: checking per-app metrics"
+curl -fsS "$BASE/metrics" > "$DIR/metrics.prom"
+grep -q 'encore_serve_requests_total{app="mysql",code="200"} 1' "$DIR/metrics.prom"
+grep -q 'encore_serve_scan_seconds_count{app="mysql"} 1' "$DIR/metrics.prom"
+grep -q 'encore_serve_findings_total{app="mysql",severity=' "$DIR/metrics.prom"
+grep -q 'encore_serve_plans_loaded 1' "$DIR/metrics.prom"
+grep -q "encore_build_info{go_version=\"go.*\",version=\"$VERSION\"} 1" "$DIR/metrics.prom"
+
+echo "serve-smoke: hot-swapping plan upload"
+curl -fsS -X POST --data-binary @"$DIR/plans/mysql.plan" "$BASE/v1/profiles/mysql" > "$DIR/upload.json"
+grep -q '"version":"v2"' "$DIR/upload.json"
+curl -fsS "$BASE/v1/status" > "$DIR/status.json"
+grep -q '"version":"v2"' "$DIR/status.json"
+grep -q '"swaps":2' "$DIR/status.json"
+
+echo "serve-smoke: graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "serve-smoke: daemon exited non-zero"; exit 1; }
+DAEMON_PID=""
+grep -q '"phase": "done"' "$DIR/stats.json"
+grep -q 'encore_serve_requests_total' "$DIR/stats.json"
+
+echo "serve-smoke: daemon lifecycle OK"
