@@ -1,0 +1,114 @@
+// Command alertsink is a minimal webhook receiver for exercising the
+// alerting pipeline end to end: it accepts POSTs on any path and appends
+// one JSONL record per delivery — the propagated X-Request-Id and
+// X-Encore-Plan-Version headers plus the raw alert payload — so smoke
+// tests can grep what an operator's real webhook endpoint would have
+// received.
+//
+//	alertsink [-addr HOST:PORT] [-addr-file FILE] [-out FILE]
+//
+// SIGTERM and SIGINT exit 0 after in-flight deliveries complete.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (use :0 for a random port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	out := flag.String("out", "", "append received deliveries as JSONL to this file (default stdout)")
+	flag.Parse()
+	if err := run(*addr, *addrFile, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "alertsink:", err)
+		os.Exit(1)
+	}
+}
+
+// delivery is one recorded webhook POST: the provenance headers the
+// notifier sets, then the alert document verbatim.
+type delivery struct {
+	Path        string          `json:"path"`
+	RequestID   string          `json:"requestId"`
+	PlanVersion string          `json:"planVersion"`
+	Alert       json.RawMessage `json:"alert"`
+}
+
+func run(addr, addrFile, out string) error {
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	srv := &http.Server{Handler: http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil || !json.Valid(body) {
+			http.Error(rw, "body must be JSON", http.StatusBadRequest)
+			return
+		}
+		line, err := json.Marshal(delivery{
+			Path:        r.URL.Path,
+			RequestID:   r.Header.Get("X-Request-Id"),
+			PlanVersion: r.Header.Get("X-Encore-Plan-Version"),
+			Alert:       body,
+		})
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		mu.Lock()
+		_, werr := w.Write(append(line, '\n'))
+		mu.Unlock()
+		if werr != nil {
+			http.Error(rw, werr.Error(), http.StatusInternalServerError)
+			return
+		}
+		rw.WriteHeader(http.StatusNoContent)
+	})}
+
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "alertsink: listening on", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sigs:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -12,16 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	encore "repro"
+	"repro/internal/alert"
 	"repro/internal/collector"
 	"repro/internal/scan"
 	"repro/internal/sysimage"
@@ -81,11 +84,11 @@ func usage() {
   encore learn    -training DIR [-rules FILE] [-profile FILE] [-custom FILE] [telemetry flags]
   encore compile  (-training DIR | -profile FILE) -plan-out FILE [-custom FILE] [telemetry flags]
   encore check    (-training DIR | -profile FILE | -plan FILE) -target FILE [-top N] [-json] [-advise] [telemetry flags]
-  encore scan     (-training DIR | -profile FILE | -plan FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-progress] [telemetry flags]
+  encore scan     (-training DIR | -profile FILE | -plan FILE) -targets DIR [-min-warnings N] [-strict] [-workers N] [-progress] [-alerts POLICY.yaml] [telemetry flags]
   encore rules    (-training DIR | -profile FILE) [-custom FILE]
   encore collect  -root DIR -id NAME -app NAME=RELPATH [-app ...] -out FILE
   encore assemble -training DIR [-csv FILE]
-  encore serve    [-addr HOST:PORT] [-plans DIR] [-shutdown-timeout DUR] [-stats-json FILE]
+  encore serve    [-addr HOST:PORT] [-plans DIR] [-alerts POLICY.yaml] [-shutdown-timeout DUR] [-stats-json FILE]
   encore version
 
 telemetry flags (learn/check/scan):
@@ -402,6 +405,7 @@ func runScan(args []string) (err error) {
 	workers := fs.Int("workers", 0, "scan worker pool size (0 = NumCPU)")
 	progress := fs.Bool("progress", false, "report periodic batch progress (done/total, findings, ETA) on stderr")
 	progressEvery := fs.Duration("progress-every", 2*time.Second, "progress reporting interval")
+	alertsFile := fs.String("alerts", "", "alerting policy YAML; findings fan out to its notifiers (see examples/alerts.yaml)")
 	obs := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -423,12 +427,14 @@ func runScan(args []string) (err error) {
 		}
 	}()
 	var eng *scan.Engine
+	var planVersion string
 	if *planIn != "" {
 		plan, err := loadPlanFile(fw, *planIn)
 		if err != nil {
 			return err
 		}
 		eng = fw.ScanEngineWithPlan(plan)
+		planVersion = "plan:" + filepath.Base(*planIn)
 	} else if *profileIn != "" {
 		data, err := os.ReadFile(*profileIn)
 		if err != nil {
@@ -439,16 +445,36 @@ func runScan(args []string) (err error) {
 			return err
 		}
 		eng = fw.ScanEngineWithProfile(p)
+		planVersion = "profile:" + filepath.Base(*profileIn)
 	} else {
 		k, err := learn(fw, *training)
 		if err != nil {
 			return err
 		}
 		eng = fw.ScanEngine(k)
+		planVersion = "training:" + filepath.Base(*training)
 	}
 	eng.Strict = *strict
 	eng.Workers = *workers
 	eng.Log = obs.Log
+	var alerts *alert.Pipeline
+	if *alertsFile != "" {
+		policy, err := alert.LoadPolicyFile(*alertsFile)
+		if err != nil {
+			return err
+		}
+		alerts, err = alert.NewPipeline(alert.Options{Policy: policy, Rec: obs.Rec, Log: obs.Log})
+		if err != nil {
+			return err
+		}
+		// Drain on every exit path; the explicit Shutdown after ScanDir
+		// makes this a no-op on the happy path. Registered after the
+		// finish() defer so it runs first and the final snapshot sees
+		// every delivery outcome.
+		defer alerts.Shutdown(context.Background())
+		eng.Alerts = alerts
+		eng.PlanVersion = planVersion
+	}
 	if *progress || obs.Serving() {
 		// The reporter needs the batch size up front; count the target
 		// files the same way ScanDir will. A live -serve run gets a silent
@@ -470,6 +496,11 @@ func runScan(args []string) (err error) {
 
 	result, err := eng.ScanDir(*targets)
 	if err != nil {
+		return err
+	}
+	// Deliver every queued alert before the fleet summary prints, so the
+	// stats line below is final.
+	if err := alerts.Shutdown(context.Background()); err != nil {
 		return err
 	}
 	for _, it := range result.Items {
@@ -510,6 +541,11 @@ func runScan(args []string) (err error) {
 			}
 			fmt.Printf("  %3dx %s\n", h.Count, h.Attr)
 		}
+	}
+	if alerts != nil {
+		s := alerts.Stats()
+		fmt.Printf("alerts: %d published, %d delivered, %d failed, %d dropped, %d suppressed\n",
+			s.Published, s.Delivered, s.Failed, s.Dropped, s.Suppressed)
 	}
 	return nil
 }

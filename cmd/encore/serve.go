@@ -3,11 +3,12 @@
 // plans once into a versioned in-memory registry and answers scan
 // requests over HTTP until signalled to stop:
 //
-//	encore serve -plans DIR [-addr HOST:PORT] [-shutdown-timeout DUR]
+//	encore serve -plans DIR [-addr HOST:PORT] [-alerts POLICY.yaml] [-shutdown-timeout DUR]
 //
 //	POST /v1/scan/{app}       scan an image (JSON body, or ?path=FILE)
 //	POST /v1/profiles/{app}   hot-swap a plan (binary plan or profile JSON)
 //	GET  /v1/status           registry versions + rolling latency quantiles
+//	GET  /v1/alerts           recent severity-routed alerts with delivery outcomes
 //	GET  /healthz /readyz     liveness / readiness
 //	GET  /metrics /snapshot   Prometheus text / JSON telemetry snapshot
 //
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	encore "repro"
+	"repro/internal/alert"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -33,6 +35,7 @@ import (
 func runServe(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	alertsFile := fs.String("alerts", "", "alerting policy YAML; findings fan out to its notifiers (see examples/alerts.yaml)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (process managers, tests)")
 	plansDir := fs.String("plans", "", "directory of <app>.plan compiled plans to preload; SIGHUP re-scans it")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT")
@@ -73,6 +76,20 @@ func runServe(args []string) (err error) {
 		return fw.CompilePlanFromProfile(p), nil
 	}
 
+	var alerts *alert.Pipeline
+	if *alertsFile != "" {
+		policy, err := alert.LoadPolicyFile(*alertsFile)
+		if err != nil {
+			return err
+		}
+		alerts, err = alert.NewPipeline(alert.Options{Policy: policy, Rec: rec, Log: log})
+		if err != nil {
+			return err
+		}
+		log.Info("alerting enabled", "policy", *alertsFile,
+			"notifiers", len(policy.Notifiers), "rules", len(policy.Rules))
+	}
+
 	d, err := serve.New(serve.Options{
 		Addr:        *addr,
 		Rec:         rec,
@@ -80,8 +97,11 @@ func runServe(args []string) (err error) {
 		LoadPlan:    fw.LoadPlan,
 		LoadProfile: loadProfile,
 		Version:     version,
+		Alerts:      alerts,
 	})
 	if err != nil {
+		// The daemon never started, so nothing will drain the pipeline.
+		alerts.Shutdown(context.Background())
 		return err
 	}
 	defer d.Close()
@@ -103,7 +123,7 @@ func runServe(args []string) (err error) {
 	}
 	log.Info("scan daemon listening", "addr", d.Addr(), "version", version,
 		"apps", d.Registry().Len(),
-		"endpoints", "/v1/scan /v1/profiles /v1/status /healthz /readyz /metrics")
+		"endpoints", "/v1/scan /v1/profiles /v1/status /v1/alerts /healthz /readyz /metrics")
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
@@ -133,6 +153,12 @@ func runServe(args []string) (err error) {
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
 		log.Warn("drain incomplete, connections closed", "err", err)
+	}
+	if alerts != nil {
+		s := alerts.Stats()
+		log.Info("alert pipeline drained", "published", s.Published,
+			"delivered", s.Delivered, "failed", s.Failed,
+			"dropped", s.Dropped, "suppressed", s.Suppressed)
 	}
 	sampler.Stop()
 	rec.SetPhase("done")

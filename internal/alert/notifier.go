@@ -1,0 +1,246 @@
+// The built-in notifier implementations: structured log, JSONL file,
+// and HTTP webhook with timeout, bounded retries, and exponential
+// backoff. All three carry the alert's request ID and plan version so a
+// delivered alert is joinable against the daemon access log and the
+// registry version that produced it.
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Webhook defaults; overridable per notifier in the policy.
+const (
+	DefaultWebhookTimeout = 5 * time.Second
+	DefaultWebhookRetries = 2
+	DefaultWebhookBackoff = 500 * time.Millisecond
+	// maxWebhookBackoff caps the exponential growth so a long retry
+	// ladder cannot sleep unbounded.
+	maxWebhookBackoff = 30 * time.Second
+)
+
+// BuildNotifiers instantiates the policy's notifier declarations. The
+// slog type logs through log; file notifiers open (and create) their
+// JSONL targets eagerly so a bad path fails at startup, not at the first
+// alert.
+func BuildNotifiers(p *Policy, log *slog.Logger) ([]Notifier, error) {
+	out := make([]Notifier, 0, len(p.Notifiers))
+	for _, nc := range p.Notifiers {
+		switch nc.Type {
+		case "slog":
+			out = append(out, NewSlogNotifier(nc.Name, log))
+		case "file":
+			n, err := NewFileNotifier(nc.Name, nc.Path)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		case "webhook":
+			out = append(out, NewWebhookNotifier(nc))
+		default:
+			return nil, &PolicyError{Msg: "notifier " + nc.Name + ": unknown type " + nc.Type}
+		}
+	}
+	return out, nil
+}
+
+// SlogNotifier records alerts as structured log lines, leveled by
+// severity (high=error, medium=warn, low=info).
+type SlogNotifier struct {
+	name string
+	log  *slog.Logger
+}
+
+// NewSlogNotifier builds a log notifier; a nil logger discards.
+func NewSlogNotifier(name string, log *slog.Logger) *SlogNotifier {
+	return &SlogNotifier{name: name, log: telemetry.LoggerOr(log)}
+}
+
+// Name implements Notifier.
+func (n *SlogNotifier) Name() string { return n.name }
+
+// Notify implements Notifier; it cannot fail.
+func (n *SlogNotifier) Notify(a *Alert) error {
+	n.log.Log(context.Background(), severityLogLevel(a.Severity), "alert",
+		"app", a.App, "image", a.ImageID, "family", a.Family, "attr", a.Attr,
+		"severity", string(a.Severity), "score", a.Score, "message", a.Message,
+		"request_id", a.RequestID, "plan_version", a.PlanVersion)
+	return nil
+}
+
+// FileNotifier appends one compact JSON line per alert — the same
+// payload the webhook posts, so downstream tooling parses both alike.
+type FileNotifier struct {
+	name string
+	path string
+	mu   sync.Mutex
+	f    *os.File
+}
+
+// NewFileNotifier opens (creating if needed) the JSONL target for
+// append.
+func NewFileNotifier(name, path string) (*FileNotifier, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("alert: file notifier %s: %w", name, err)
+	}
+	return &FileNotifier{name: name, path: path, f: f}, nil
+}
+
+// Name implements Notifier.
+func (n *FileNotifier) Name() string { return n.name }
+
+// Notify appends the alert as one JSON line.
+func (n *FileNotifier) Notify(a *Alert) error {
+	data, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("alert: encode: %w", err)
+	}
+	data = append(data, '\n')
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.f == nil {
+		return fmt.Errorf("alert: file notifier %s: closed", n.name)
+	}
+	if _, err := n.f.Write(data); err != nil {
+		return fmt.Errorf("alert: file notifier %s: %w", n.name, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the JSONL target (called by the pipeline on
+// shutdown).
+func (n *FileNotifier) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.f == nil {
+		return nil
+	}
+	err := n.f.Close()
+	n.f = nil
+	return err
+}
+
+// WebhookNotifier POSTs the alert JSON to a URL. Each attempt is bounded
+// by the per-attempt timeout; server errors (5xx), 429, and transport
+// errors retry with exponential backoff; other 4xx responses are
+// permanent failures (the receiver rejected the payload — retrying
+// cannot help).
+type WebhookNotifier struct {
+	name    string
+	url     string
+	retries int
+	backoff time.Duration
+	client  *http.Client
+	// sleep is the backoff sleeper; a test seam (defaults to time.Sleep).
+	sleep func(time.Duration)
+}
+
+// NewWebhookNotifier builds a webhook notifier from its policy
+// declaration, applying the webhook defaults to unset knobs.
+func NewWebhookNotifier(nc NotifierConfig) *WebhookNotifier {
+	timeout := nc.Timeout
+	if timeout <= 0 {
+		timeout = DefaultWebhookTimeout
+	}
+	retries := nc.Retries
+	if retries < 0 {
+		retries = DefaultWebhookRetries
+	}
+	backoff := nc.Backoff
+	if backoff <= 0 {
+		backoff = DefaultWebhookBackoff
+	}
+	return &WebhookNotifier{
+		name:    nc.Name,
+		url:     nc.URL,
+		retries: retries,
+		backoff: backoff,
+		// A dedicated transport: delivery must not share (or pollute)
+		// the default transport's connection pool, and Close can drop
+		// idle connections without affecting anyone else.
+		client: &http.Client{Timeout: timeout, Transport: &http.Transport{}},
+		sleep:  time.Sleep,
+	}
+}
+
+// Name implements Notifier.
+func (n *WebhookNotifier) Name() string { return n.name }
+
+// Notify implements Notifier: up to 1+retries POST attempts with
+// exponential backoff between them.
+func (n *WebhookNotifier) Notify(a *Alert) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("alert: encode: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryable, err := n.post(a, body)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= n.retries {
+			return fmt.Errorf("alert: webhook %s: %w (attempt %d/%d)", n.name, lastErr, attempt+1, n.retries+1)
+		}
+		d := n.backoff << attempt
+		if d > maxWebhookBackoff || d <= 0 {
+			d = maxWebhookBackoff
+		}
+		n.sleep(d)
+	}
+}
+
+// post runs one delivery attempt; retryable reports whether a failure is
+// worth another attempt.
+func (n *WebhookNotifier) post(a *Alert, body []byte) (retryable bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, n.url, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The provenance headers: a webhook receiver can join the alert
+	// against the daemon access log without parsing the body.
+	if a.RequestID != "" {
+		req.Header.Set("X-Request-Id", a.RequestID)
+	}
+	if a.PlanVersion != "" {
+		req.Header.Set("X-Encore-Plan-Version", a.PlanVersion)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return true, err
+	}
+	// Drain a bounded prefix so the connection is reusable.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return false, nil
+	}
+	err = fmt.Errorf("status %d", resp.StatusCode)
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		return true, err
+	}
+	return false, err
+}
+
+// Close drops idle connections (called by the pipeline on shutdown; the
+// leak-pinned tests require no lingering transport goroutines).
+func (n *WebhookNotifier) Close() error {
+	if t, ok := n.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fastWebhook builds a webhook notifier with millisecond backoff so the
+// retry ladder doesn't slow the suite.
+func fastWebhook(name, url string, retries int, timeout time.Duration) *WebhookNotifier {
+	return NewWebhookNotifier(NotifierConfig{
+		Name: name, Type: "webhook", URL: url,
+		Timeout: timeout, Retries: retries, Backoff: time.Millisecond,
+	})
+}
+
+// TestWebhookDeliversPayloadAndHeaders: the receiver sees the alert JSON
+// plus the provenance headers that join it to the daemon access log.
+func TestWebhookDeliversPayloadAndHeaders(t *testing.T) {
+	var gotBody []byte
+	var gotReqID, gotPlanVersion, gotContentType string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotReqID = r.Header.Get("X-Request-Id")
+		gotPlanVersion = r.Header.Get("X-Encore-Plan-Version")
+		gotContentType = r.Header.Get("Content-Type")
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		gotBody = buf.Bytes()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	n := fastWebhook("hook", srv.URL, 0, time.Second)
+	defer n.Close()
+	a := testAlert("mysql", "mysql:port", 85)
+	a.FiredAtUnix = 1700000000
+	if err := n.Notify(&a); err != nil {
+		t.Fatal(err)
+	}
+	if gotReqID != "req-1" || gotPlanVersion != "v1" || gotContentType != "application/json" {
+		t.Fatalf("headers = id %q, plan %q, ct %q", gotReqID, gotPlanVersion, gotContentType)
+	}
+	var decoded Alert
+	if err := json.Unmarshal(gotBody, &decoded); err != nil {
+		t.Fatalf("payload not JSON: %v\n%s", err, gotBody)
+	}
+	if decoded != a {
+		t.Fatalf("payload round-trip mismatch:\n got %+v\nwant %+v", decoded, a)
+	}
+}
+
+// TestWebhookRetriesThenSucceeds: transient 500s are retried with
+// backoff until the receiver recovers.
+func TestWebhookRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	n := fastWebhook("hook", srv.URL, 3, time.Second)
+	defer n.Close()
+	a := testAlert("mysql", "mysql:port", 85)
+	if err := n.Notify(&a); err != nil {
+		t.Fatalf("notify should succeed on attempt 3: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestWebhookExhaustsRetries: a persistently failing receiver consumes
+// exactly 1+retries attempts and surfaces an error.
+func TestWebhookExhaustsRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	n := fastWebhook("hook", srv.URL, 2, time.Second)
+	defer n.Close()
+	a := testAlert("mysql", "mysql:port", 85)
+	err := n.Notify(&a)
+	if err == nil {
+		t.Fatal("notify succeeded against a 500-only receiver")
+	}
+	if !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("error should carry the status: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestWebhookClientErrorNoRetry: a 4xx (other than 429) is permanent —
+// exactly one attempt.
+func TestWebhookClientErrorNoRetry(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	n := fastWebhook("hook", srv.URL, 5, time.Second)
+	defer n.Close()
+	a := testAlert("mysql", "mysql:port", 85)
+	if err := n.Notify(&a); err == nil {
+		t.Fatal("notify succeeded against a 400 receiver")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx must not retry)", got)
+	}
+}
+
+// TestWebhookTimeout: a receiver that never answers within the
+// per-attempt timeout fails the attempt (and retries).
+func TestWebhookTimeout(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+	}))
+	// LIFO: the gate must open before srv.Close() waits on the wedged
+	// handlers.
+	defer srv.Close()
+	defer close(release)
+
+	n := fastWebhook("hook", srv.URL, 1, 30*time.Millisecond)
+	defer n.Close()
+	a := testAlert("mysql", "mysql:port", 85)
+	start := time.Now()
+	err := n.Notify(&a)
+	if err == nil {
+		t.Fatal("notify succeeded against a hung receiver")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout not enforced: notify took %v", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (timeout retries once)", got)
+	}
+}
+
+// TestWebhookFaultMetricsNoLeak is the pipeline-level fault contract: a
+// webhook that always 500s lands outcome="error" in
+// encore_alerts_total, records the failure in the ring, and leaves no
+// goroutines behind after Shutdown (leak-pinned like serve.Close).
+func TestWebhookFaultMetricsNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	rec := telemetry.New()
+	pol := DefaultPolicy()
+	pol.Notifiers = []NotifierConfig{{
+		Name: "hook", Type: "webhook", URL: srv.URL,
+		Timeout: time.Second, Retries: 1, Backoff: time.Millisecond,
+	}}
+	p, err := NewPipeline(Options{Policy: pol, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Publish(testAlert("mysql", "mysql:port", 85)) {
+		t.Fatal("publish rejected")
+	}
+	shutdownPipeline(t, p)
+
+	if n := rec.LabeledCounter(MetricAlertsTotal,
+		telemetry.L("notifier", "hook", "severity", "high", "outcome", "error")); n != 1 {
+		t.Fatalf("alerts_total{hook,high,error} = %d, want 1", n)
+	}
+	if st := p.Stats(); st.Failed != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recent := p.Recent(1)
+	if len(recent) != 1 || recent[0].Deliveries[0].Outcome != OutcomeError ||
+		recent[0].Deliveries[0].Error == "" {
+		t.Fatalf("ring should record the failed delivery: %+v", recent)
+	}
+
+	srv.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFileNotifierJSONL: one parseable JSON line per alert, carrying
+// request ID and plan version.
+func TestFileNotifierJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	n, err := NewFileNotifier("audit", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := testAlert("mysql", "mysql:port", 85)
+	a2 := testAlert("apache", "apache:Listen", 45)
+	a2.RequestID, a2.PlanVersion = "req-2", "v7"
+	for _, a := range []Alert{a1, a2} {
+		a := a
+		if err := n.Notify(&a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	a3 := a1
+	if err := n.Notify(&a3); err == nil {
+		t.Fatal("notify after close should fail")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file holds %d lines, want 2:\n%s", len(lines), data)
+	}
+	var got Alert
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if got.RequestID != "req-2" || got.PlanVersion != "v7" || got.App != "apache" {
+		t.Fatalf("JSONL line lost provenance: %+v", got)
+	}
+}
+
+// TestSlogNotifierFields: the log line carries the correlation fields and
+// is leveled by severity.
+func TestSlogNotifierFields(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	n := NewSlogNotifier("ops-log", log)
+	a := testAlert("mysql", "mysql:port", 85)
+	if err := n.Notify(&a); err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if rec["level"] != "ERROR" {
+		t.Fatalf("high severity should log at error, got %v", rec["level"])
+	}
+	if rec["request_id"] != "req-1" || rec["plan_version"] != "v1" || rec["attr"] != "mysql:port" {
+		t.Fatalf("log line missing fields: %v", rec)
+	}
+}
+
+// TestBuildNotifiersFromPolicy: the policy-built set matches the
+// declarations, and a bad file path fails at startup.
+func TestBuildNotifiersFromPolicy(t *testing.T) {
+	dir := t.TempDir()
+	pol, err := ParsePolicy([]byte(strings.ReplaceAll(fullPolicyDoc,
+		"/tmp/alerts.jsonl", filepath.Join(dir, "a.jsonl"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := BuildNotifiers(pol, slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 || ns[0].Name() != "ops-log" || ns[1].Name() != "audit" || ns[2].Name() != "pager" {
+		t.Fatalf("built notifiers wrong: %v", ns)
+	}
+	for _, n := range ns {
+		if c, ok := n.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+
+	pol.Notifiers = []NotifierConfig{{Name: "bad", Type: "file", Path: filepath.Join(dir, "missing", "a.jsonl")}}
+	if _, err := BuildNotifiers(pol, nil); err == nil {
+		t.Fatal("unwritable file path should fail at build time")
+	}
+}
+
+// TestPipelineShutdownClosesNotifiers: file notifiers are closed on
+// shutdown (a second Shutdown must not re-close).
+func TestPipelineShutdownClosesNotifiers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	n, err := NewFileNotifier("audit", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(Options{Notifiers: []Notifier{n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Publish(testAlert("mysql", "mysql:port", 85))
+	shutdownPipeline(t, p)
+	a := testAlert("mysql", "mysql:late", 85)
+	if err := n.Notify(&a); err == nil {
+		t.Fatal("file notifier should be closed after pipeline shutdown")
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,649 @@
+// Alert policy: the YAML document operators write to govern routing.
+// The container image carries no YAML dependency, so this file includes
+// a small parser for the strict subset the policy schema needs: nested
+// block maps, block sequences of maps, inline flow lists ([a, b]),
+// quoted and plain scalars, and # comments. Two-space indentation,
+// spaces only. Unknown keys are errors — a misconfigured misconfig
+// detector would be embarrassing.
+//
+// Schema (see examples/alerts.yaml for a commented instance):
+//
+//	version: 1               # required, must be 1
+//	queue_size: 256          # bounded queue capacity (default 256)
+//	ring_size: 128           # recent-alert ring capacity (default 128)
+//	dedup_window: 30s        # suppress repeats of (app, attr, family); 0 = off
+//	rate_limit: 120          # max deliveries per minute; 0 = unlimited
+//	min_severity: low        # global severity floor: low | medium | high
+//	notifiers:
+//	  - name: ops-log        # unique handle used in metrics + rules.notify
+//	    type: slog           # slog | file | webhook
+//	  - name: audit
+//	    type: file
+//	    path: alerts.jsonl   # JSONL append target (file type)
+//	  - name: pager
+//	    type: webhook
+//	    url: http://...      # POST target (webhook type)
+//	    timeout: 2s          # per-attempt timeout (default 5s)
+//	    retries: 3           # extra attempts after the first (default 2)
+//	    backoff: 200ms       # exponential backoff base (default 500ms)
+//	rules:                   # first match by family wins; "*" catches the rest
+//	  - family: correlation  # detect.Kind or "*"
+//	    enabled: true        # default true; false suppresses the family
+//	    min_severity: medium # per-family floor (raises the global floor)
+//	    notify: [pager]      # notifier names; omit to use every notifier
+//
+// When rules is omitted every alert at or above min_severity goes to
+// every notifier. When rules is present, families matching no rule are
+// suppressed — include a "*" rule to catch the rest.
+package alert
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PolicyError reports an invalid policy document.
+type PolicyError struct {
+	// Line is the 1-based source line, when known (0 for semantic
+	// errors with no single line).
+	Line int
+	Msg  string
+}
+
+func (e *PolicyError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("alert policy: line %d: %s", e.Line, e.Msg)
+	}
+	return "alert policy: " + e.Msg
+}
+
+// NotifierConfig is one notifier declaration in the policy.
+type NotifierConfig struct {
+	// Name is the unique handle used in metrics labels and rule routing.
+	Name string
+	// Type selects the implementation: "slog", "file", or "webhook".
+	Type string
+	// Path is the JSONL append target (file type).
+	Path string
+	// URL is the POST target (webhook type).
+	URL string
+	// Timeout bounds one webhook attempt (0 = DefaultWebhookTimeout).
+	Timeout time.Duration
+	// Retries is the number of extra webhook attempts after the first
+	// (-1 = unset, defaults to DefaultWebhookRetries).
+	Retries int
+	// Backoff is the webhook exponential-backoff base
+	// (0 = DefaultWebhookBackoff).
+	Backoff time.Duration
+}
+
+// Rule routes one warning family. The zero Family is invalid; "*"
+// matches any family not matched by an earlier rule.
+type Rule struct {
+	Family string
+	// Enabled false suppresses the family entirely.
+	Enabled bool
+	// MinSeverity raises the global floor for this family ("" = no
+	// per-family floor).
+	MinSeverity Severity
+	// Notify lists notifier names; nil routes to every notifier.
+	Notify []string
+}
+
+// Policy is the parsed, validated alerting policy.
+type Policy struct {
+	Version     int
+	QueueSize   int
+	RingSize    int
+	DedupWindow time.Duration
+	// RateLimit caps deliveries per minute (token bucket); 0 = unlimited.
+	RateLimit   int
+	MinSeverity Severity
+	Notifiers   []NotifierConfig
+	Rules       []Rule
+}
+
+// Policy defaults.
+const (
+	DefaultQueueSize = 256
+	DefaultRingSize  = 128
+)
+
+// DefaultPolicy is the policy used when no file is given: unlimited
+// rate, no dedup, low severity floor, route everything to every
+// (caller-injected) notifier.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		Version:     1,
+		QueueSize:   DefaultQueueSize,
+		RingSize:    DefaultRingSize,
+		MinSeverity: SeverityLow,
+	}
+}
+
+// route resolves (family, severity) against the policy: the returned
+// names are the notifiers to deliver to (nil = all), ok false means the
+// alert is suppressed. First rule matching the family wins, then a "*"
+// rule; with no rules at all, everything at or above the global floor
+// routes to every notifier.
+func (p *Policy) route(family string, sev Severity) (notify []string, ok bool) {
+	floor := p.MinSeverity.rank()
+	var r *Rule
+	for i := range p.Rules {
+		if p.Rules[i].Family == family {
+			r = &p.Rules[i]
+			break
+		}
+	}
+	if r == nil {
+		for i := range p.Rules {
+			if p.Rules[i].Family == "*" {
+				r = &p.Rules[i]
+				break
+			}
+		}
+	}
+	if r != nil {
+		if !r.Enabled {
+			return nil, false
+		}
+		if pr := r.MinSeverity.rank(); pr > floor {
+			floor = pr
+		}
+		if sev.rank() < floor {
+			return nil, false
+		}
+		return r.Notify, true
+	}
+	if len(p.Rules) > 0 {
+		return nil, false
+	}
+	if sev.rank() < floor {
+		return nil, false
+	}
+	return nil, true
+}
+
+// LoadPolicyFile reads and parses a policy YAML file.
+func LoadPolicyFile(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("alert policy: %w", err)
+	}
+	return ParsePolicy(data)
+}
+
+// ParsePolicy parses and validates a policy document.
+func ParsePolicy(data []byte) (*Policy, error) {
+	doc, err := parseYAMLSubset(data)
+	if err != nil {
+		return nil, err
+	}
+	p := DefaultPolicy()
+	p.Version = 0 // version is required in an explicit document
+	for _, kv := range doc {
+		switch kv.key {
+		case "version":
+			if p.Version, err = atoiField(kv); err != nil {
+				return nil, err
+			}
+		case "queue_size":
+			if p.QueueSize, err = atoiField(kv); err != nil {
+				return nil, err
+			}
+		case "ring_size":
+			if p.RingSize, err = atoiField(kv); err != nil {
+				return nil, err
+			}
+		case "dedup_window":
+			if p.DedupWindow, err = durationField(kv); err != nil {
+				return nil, err
+			}
+		case "rate_limit":
+			if p.RateLimit, err = atoiField(kv); err != nil {
+				return nil, err
+			}
+		case "min_severity":
+			if p.MinSeverity, err = severityField(kv); err != nil {
+				return nil, err
+			}
+		case "notifiers":
+			items, err := seqOfMaps(kv)
+			if err != nil {
+				return nil, err
+			}
+			for _, item := range items {
+				nc, err := parseNotifier(item)
+				if err != nil {
+					return nil, err
+				}
+				p.Notifiers = append(p.Notifiers, nc)
+			}
+		case "rules":
+			items, err := seqOfMaps(kv)
+			if err != nil {
+				return nil, err
+			}
+			for _, item := range items {
+				r, err := parseRule(item)
+				if err != nil {
+					return nil, err
+				}
+				p.Rules = append(p.Rules, r)
+			}
+		default:
+			return nil, &PolicyError{Line: kv.line, Msg: "unknown key " + strconv.Quote(kv.key)}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the policy's internal consistency (a pipeline built
+// with injected notifiers re-checks rule routing against the injected
+// set instead).
+func (p *Policy) Validate() error {
+	if p.Version != 1 {
+		return &PolicyError{Msg: fmt.Sprintf("unsupported version %d (want 1)", p.Version)}
+	}
+	if p.QueueSize <= 0 {
+		return &PolicyError{Msg: fmt.Sprintf("queue_size must be positive, got %d", p.QueueSize)}
+	}
+	if p.RingSize <= 0 {
+		return &PolicyError{Msg: fmt.Sprintf("ring_size must be positive, got %d", p.RingSize)}
+	}
+	if p.RateLimit < 0 {
+		return &PolicyError{Msg: fmt.Sprintf("rate_limit must be >= 0, got %d", p.RateLimit)}
+	}
+	if p.DedupWindow < 0 {
+		return &PolicyError{Msg: "dedup_window must be >= 0"}
+	}
+	seen := map[string]bool{}
+	for _, n := range p.Notifiers {
+		if n.Name == "" {
+			return &PolicyError{Msg: "notifier missing name"}
+		}
+		if seen[n.Name] {
+			return &PolicyError{Msg: "duplicate notifier name " + strconv.Quote(n.Name)}
+		}
+		seen[n.Name] = true
+		switch n.Type {
+		case "slog":
+		case "file":
+			if n.Path == "" {
+				return &PolicyError{Msg: "file notifier " + n.Name + " missing path"}
+			}
+		case "webhook":
+			if n.URL == "" {
+				return &PolicyError{Msg: "webhook notifier " + n.Name + " missing url"}
+			}
+		default:
+			return &PolicyError{Msg: "notifier " + n.Name + ": unknown type " + strconv.Quote(n.Type) + " (want slog, file, or webhook)"}
+		}
+	}
+	for _, r := range p.Rules {
+		if r.Family == "" {
+			return &PolicyError{Msg: "rule missing family"}
+		}
+		for _, name := range r.Notify {
+			if !seen[name] {
+				return &PolicyError{Msg: "rule for family " + r.Family + " routes to unknown notifier " + strconv.Quote(name)}
+			}
+		}
+	}
+	return nil
+}
+
+// parseNotifier decodes one notifiers[] item.
+func parseNotifier(item []field) (NotifierConfig, error) {
+	nc := NotifierConfig{Retries: -1}
+	var err error
+	for _, kv := range item {
+		switch kv.key {
+		case "name":
+			nc.Name, err = scalarField(kv)
+		case "type":
+			nc.Type, err = scalarField(kv)
+		case "path":
+			nc.Path, err = scalarField(kv)
+		case "url":
+			nc.URL, err = scalarField(kv)
+		case "timeout":
+			nc.Timeout, err = durationField(kv)
+		case "retries":
+			nc.Retries, err = atoiField(kv)
+		case "backoff":
+			nc.Backoff, err = durationField(kv)
+		default:
+			err = &PolicyError{Line: kv.line, Msg: "unknown notifier key " + strconv.Quote(kv.key)}
+		}
+		if err != nil {
+			return nc, err
+		}
+	}
+	return nc, nil
+}
+
+// parseRule decodes one rules[] item.
+func parseRule(item []field) (Rule, error) {
+	r := Rule{Enabled: true}
+	var err error
+	for _, kv := range item {
+		switch kv.key {
+		case "family":
+			r.Family, err = scalarField(kv)
+		case "enabled":
+			var s string
+			if s, err = scalarField(kv); err == nil {
+				switch s {
+				case "true":
+					r.Enabled = true
+				case "false":
+					r.Enabled = false
+				default:
+					err = &PolicyError{Line: kv.line, Msg: "enabled must be true or false, got " + strconv.Quote(s)}
+				}
+			}
+		case "min_severity":
+			r.MinSeverity, err = severityField(kv)
+		case "notify":
+			r.Notify, err = listField(kv)
+		default:
+			err = &PolicyError{Line: kv.line, Msg: "unknown rule key " + strconv.Quote(kv.key)}
+		}
+		if err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// ParseSeverity validates a severity name.
+func ParseSeverity(s string) (Severity, error) {
+	sev := Severity(s)
+	if sev.rank() < 0 {
+		return "", fmt.Errorf("unknown severity %q (want low, medium, or high)", s)
+	}
+	return sev, nil
+}
+
+// --- typed field accessors over the generic parse tree ---
+
+func scalarField(kv field) (string, error) {
+	s, ok := kv.value.(string)
+	if !ok {
+		return "", &PolicyError{Line: kv.line, Msg: kv.key + ": expected a scalar value"}
+	}
+	return s, nil
+}
+
+func atoiField(kv field) (int, error) {
+	s, err := scalarField(kv)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, &PolicyError{Line: kv.line, Msg: kv.key + ": expected an integer, got " + strconv.Quote(s)}
+	}
+	return n, nil
+}
+
+func durationField(kv field) (time.Duration, error) {
+	s, err := scalarField(kv)
+	if err != nil {
+		return 0, err
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, &PolicyError{Line: kv.line, Msg: kv.key + ": expected a duration like 30s, got " + strconv.Quote(s)}
+	}
+	return d, nil
+}
+
+func severityField(kv field) (Severity, error) {
+	s, err := scalarField(kv)
+	if err != nil {
+		return "", err
+	}
+	sev, err := ParseSeverity(s)
+	if err != nil {
+		return "", &PolicyError{Line: kv.line, Msg: kv.key + ": " + err.Error()}
+	}
+	return sev, nil
+}
+
+func listField(kv field) ([]string, error) {
+	switch v := kv.value.(type) {
+	case []string:
+		return v, nil
+	case string:
+		return nil, &PolicyError{Line: kv.line, Msg: kv.key + ": expected a list like [a, b]"}
+	}
+	return nil, &PolicyError{Line: kv.line, Msg: kv.key + ": expected a list"}
+}
+
+func seqOfMaps(kv field) ([][]field, error) {
+	items, ok := kv.value.([][]field)
+	if !ok {
+		return nil, &PolicyError{Line: kv.line, Msg: kv.key + ": expected a block sequence of maps"}
+	}
+	return items, nil
+}
+
+// --- YAML-subset parser ---
+//
+// The grammar is exactly what the schema above needs: a top-level block
+// map whose values are scalars or block sequences; sequence items are
+// flat maps of scalars or inline flow lists. Field order is preserved so
+// error messages and rule precedence match the document.
+
+// field is one key of a block map, carrying its source line for errors.
+type field struct {
+	key   string
+	value any // string | []string | [][]field
+	line  int
+}
+
+// yline is one meaningful source line.
+type yline struct {
+	indent int
+	text   string
+	num    int
+}
+
+// parseYAMLSubset tokenizes the document into indented lines and parses
+// the top-level map.
+func parseYAMLSubset(data []byte) ([]field, error) {
+	var lines []yline
+	for num, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, &PolicyError{Line: num + 1, Msg: "tab indentation is not supported (use spaces)"}
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		lines = append(lines, yline{
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+			num:    num + 1,
+		})
+	}
+	var doc []field
+	i := 0
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent != 0 {
+			return nil, &PolicyError{Line: ln.num, Msg: "unexpected indentation at top level"}
+		}
+		kv, next, err := parseEntry(lines, i)
+		if err != nil {
+			return nil, err
+		}
+		doc = append(doc, kv)
+		i = next
+	}
+	return doc, nil
+}
+
+// stripComment removes a trailing "#" comment that is not inside a
+// quoted scalar. Full-line comments reduce to the empty string.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseEntry parses one "key:" or "key: value" map entry starting at
+// lines[i]; a bare "key:" opens a block sequence at deeper indentation.
+func parseEntry(lines []yline, i int) (field, int, error) {
+	ln := lines[i]
+	key, rest, ok := strings.Cut(ln.text, ":")
+	if !ok || key == "" || strings.ContainsAny(key, " [{") {
+		return field{}, 0, &PolicyError{Line: ln.num, Msg: "expected \"key: value\", got " + strconv.Quote(ln.text)}
+	}
+	rest = strings.TrimSpace(rest)
+	kv := field{key: key, line: ln.num}
+	if rest != "" {
+		v, err := parseScalarOrFlow(rest, ln.num)
+		if err != nil {
+			return field{}, 0, err
+		}
+		kv.value = v
+		return kv, i + 1, nil
+	}
+	// Block value: the only nested structure in the schema is a sequence
+	// of flat maps.
+	if i+1 >= len(lines) || lines[i+1].indent <= ln.indent {
+		return field{}, 0, &PolicyError{Line: ln.num, Msg: key + ": missing value (empty sections are not allowed)"}
+	}
+	items, next, err := parseSeq(lines, i+1, lines[i+1].indent)
+	if err != nil {
+		return field{}, 0, err
+	}
+	kv.value = items
+	return kv, next, nil
+}
+
+// parseSeq parses a block sequence of flat maps at the given indent.
+func parseSeq(lines []yline, i, indent int) ([][]field, int, error) {
+	var items [][]field
+	for i < len(lines) && lines[i].indent >= indent {
+		ln := lines[i]
+		if ln.indent != indent || !strings.HasPrefix(ln.text, "- ") {
+			return nil, 0, &PolicyError{Line: ln.num, Msg: "expected a \"- key: value\" sequence item"}
+		}
+		// The first key rides on the "- " line; its continuation keys sit
+		// two columns deeper (aligned under the first key).
+		first := yline{indent: indent + 2, text: strings.TrimSpace(ln.text[2:]), num: ln.num}
+		item, next, err := parseItem(lines, i, first)
+		if err != nil {
+			return nil, 0, err
+		}
+		items = append(items, item)
+		i = next
+	}
+	return items, i, nil
+}
+
+// parseItem parses one sequence item: the inlined first key plus any
+// continuation keys at the item's alignment.
+func parseItem(lines []yline, i int, first yline) ([]field, int, error) {
+	key, rest, ok := strings.Cut(first.text, ":")
+	if !ok || key == "" || strings.ContainsAny(key, " [{") {
+		return nil, 0, &PolicyError{Line: first.num, Msg: "sequence item must be \"key: value\", got " + strconv.Quote(first.text)}
+	}
+	v, err := parseScalarOrFlow(strings.TrimSpace(rest), first.num)
+	if err != nil {
+		return nil, 0, err
+	}
+	item := []field{{key: key, value: v, line: first.num}}
+	i++
+	for i < len(lines) && lines[i].indent == first.indent && !strings.HasPrefix(lines[i].text, "- ") {
+		kv, next, err := parseEntry(lines, i)
+		if err != nil {
+			return nil, 0, err
+		}
+		item = append(item, kv)
+		i = next
+	}
+	if i < len(lines) && lines[i].indent > first.indent {
+		return nil, 0, &PolicyError{Line: lines[i].num, Msg: "unexpected indentation"}
+	}
+	return item, i, nil
+}
+
+// parseScalarOrFlow parses a scalar or an inline flow list "[a, b]".
+func parseScalarOrFlow(s string, line int) (any, error) {
+	if s == "" {
+		return nil, &PolicyError{Line: line, Msg: "missing value"}
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, &PolicyError{Line: line, Msg: "unterminated flow list " + strconv.Quote(s)}
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []string{}, nil
+		}
+		parts := strings.Split(inner, ",")
+		out := make([]string, 0, len(parts))
+		for _, part := range parts {
+			v, err := unquoteScalar(strings.TrimSpace(part), line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return unquoteScalar(s, line)
+}
+
+// unquoteScalar strips matching single or double quotes. Escapes are not
+// supported — none of the schema's values need them.
+func unquoteScalar(s string, line int) (string, error) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		if s[len(s)-1] != s[0] {
+			return "", &PolicyError{Line: line, Msg: "unterminated quoted scalar " + strconv.Quote(s)}
+		}
+		return s[1 : len(s)-1], nil
+	}
+	return s, nil
+}
+
+// severityLogLevel maps a severity to the slog level the slog notifier
+// records at.
+func severityLogLevel(s Severity) slog.Level {
+	switch s {
+	case SeverityHigh:
+		return slog.LevelError
+	case SeverityMedium:
+		return slog.LevelWarn
+	default:
+		return slog.LevelInfo
+	}
+}

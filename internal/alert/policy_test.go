@@ -1,0 +1,201 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const fullPolicyDoc = `# Operator alerting policy.
+version: 1
+queue_size: 512        # bounded queue
+ring_size: 64
+dedup_window: 30s
+rate_limit: 120
+min_severity: low
+
+notifiers:
+  - name: ops-log
+    type: slog
+  - name: audit
+    type: file
+    path: /tmp/alerts.jsonl
+  - name: pager
+    type: webhook
+    url: "http://127.0.0.1:9099/hook"
+    timeout: 2s
+    retries: 3
+    backoff: 200ms
+
+rules:
+  - family: correlation
+    min_severity: medium
+    notify: [pager, ops-log]
+  - family: data-type
+    enabled: false
+  - family: "*"
+    notify: [audit]
+`
+
+func TestParsePolicyFull(t *testing.T) {
+	p, err := ParsePolicy([]byte(fullPolicyDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != 1 || p.QueueSize != 512 || p.RingSize != 64 {
+		t.Fatalf("scalars wrong: %+v", p)
+	}
+	if p.DedupWindow != 30*time.Second || p.RateLimit != 120 || p.MinSeverity != SeverityLow {
+		t.Fatalf("windows wrong: %+v", p)
+	}
+	if len(p.Notifiers) != 3 {
+		t.Fatalf("notifiers = %d, want 3", len(p.Notifiers))
+	}
+	hook := p.Notifiers[2]
+	if hook.Name != "pager" || hook.Type != "webhook" || hook.URL != "http://127.0.0.1:9099/hook" {
+		t.Fatalf("webhook decoded wrong: %+v", hook)
+	}
+	if hook.Timeout != 2*time.Second || hook.Retries != 3 || hook.Backoff != 200*time.Millisecond {
+		t.Fatalf("webhook knobs wrong: %+v", hook)
+	}
+	if p.Notifiers[1].Path != "/tmp/alerts.jsonl" {
+		t.Fatalf("file path wrong: %+v", p.Notifiers[1])
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(p.Rules))
+	}
+	if r := p.Rules[0]; r.Family != "correlation" || r.MinSeverity != SeverityMedium ||
+		!r.Enabled || len(r.Notify) != 2 || r.Notify[0] != "pager" {
+		t.Fatalf("rule 0 decoded wrong: %+v", r)
+	}
+	if r := p.Rules[1]; r.Enabled {
+		t.Fatalf("rule 1 should be disabled: %+v", r)
+	}
+	if r := p.Rules[2]; r.Family != "*" || len(r.Notify) != 1 {
+		t.Fatalf("catch-all rule wrong: %+v", r)
+	}
+}
+
+func TestPolicyRouting(t *testing.T) {
+	p, err := ParsePolicy([]byte(fullPolicyDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// correlation: per-family floor raises low to medium.
+	if _, ok := p.route("correlation", SeverityLow); ok {
+		t.Fatal("low correlation should be below the per-family floor")
+	}
+	names, ok := p.route("correlation", SeverityHigh)
+	if !ok || len(names) != 2 {
+		t.Fatalf("correlation route = %v, %v", names, ok)
+	}
+	// data-type: disabled.
+	if _, ok := p.route("data-type", SeverityHigh); ok {
+		t.Fatal("disabled family routed")
+	}
+	// entry-name falls through to "*".
+	names, ok = p.route("entry-name", SeverityLow)
+	if !ok || len(names) != 1 || names[0] != "audit" {
+		t.Fatalf("catch-all route = %v, %v", names, ok)
+	}
+}
+
+func TestDefaultPolicyRoutesEverything(t *testing.T) {
+	p := DefaultPolicy()
+	names, ok := p.route("correlation", SeverityLow)
+	if !ok || names != nil {
+		t.Fatalf("default route = %v, %v; want all notifiers", names, ok)
+	}
+}
+
+func TestParsePolicyMinimal(t *testing.T) {
+	p, err := ParsePolicy([]byte("version: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.QueueSize != DefaultQueueSize || p.RingSize != DefaultRingSize {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if p.MinSeverity != SeverityLow || p.DedupWindow != 0 || p.RateLimit != 0 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"missing version", "queue_size: 4\n", "unsupported version"},
+		{"wrong version", "version: 2\n", "unsupported version"},
+		{"tab indent", "version: 1\n\tqueue_size: 4\n", "tab indentation"},
+		{"unknown key", "version: 1\nqueue_sizes: 4\n", "unknown key"},
+		{"bad severity", "version: 1\nmin_severity: urgent\n", "unknown severity"},
+		{"bad duration", "version: 1\ndedup_window: fast\n", "expected a duration"},
+		{"bad int", "version: 1\nqueue_size: many\n", "expected an integer"},
+		{"zero queue", "version: 1\nqueue_size: 0\n", "queue_size must be positive"},
+		{"negative rate", "version: 1\nrate_limit: -1\n", "rate_limit must be >= 0"},
+		{"empty section", "version: 1\nnotifiers:\n", "missing value"},
+		{"unknown notifier key", "version: 1\nnotifiers:\n  - name: x\n    type: slog\n    speed: fast\n", "unknown notifier key"},
+		{"unknown notifier type", "version: 1\nnotifiers:\n  - name: x\n    type: pigeon\n", "unknown type"},
+		{"file without path", "version: 1\nnotifiers:\n  - name: x\n    type: file\n", "missing path"},
+		{"webhook without url", "version: 1\nnotifiers:\n  - name: x\n    type: webhook\n", "missing url"},
+		{"duplicate notifier", "version: 1\nnotifiers:\n  - name: x\n    type: slog\n  - name: x\n    type: slog\n", "duplicate notifier"},
+		{"rule without family", "version: 1\nrules:\n  - enabled: true\n", "missing family"},
+		{"unknown rule key", "version: 1\nrules:\n  - family: correlation\n    color: red\n", "unknown rule key"},
+		{"route to unknown notifier", "version: 1\nrules:\n  - family: correlation\n    notify: [ghost]\n", "unknown notifier"},
+		{"bad enabled", "version: 1\nrules:\n  - family: correlation\n    enabled: maybe\n", "enabled must be true or false"},
+		{"notify scalar", "version: 1\nrules:\n  - family: correlation\n    notify: ghost\n", "expected a list"},
+		{"unterminated list", "version: 1\nrules:\n  - family: correlation\n    notify: [a, b\n", "unterminated flow list"},
+		{"unterminated quote", "version: 1\nrules:\n  - family: \"corr\n", "unterminated quoted scalar"},
+		{"top-level indent", "version: 1\n  queue_size: 4\n", "unexpected indentation"},
+		{"not a sequence", "version: 1\nnotifiers:\n  name: x\n", "sequence item"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePolicy([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("parse accepted invalid doc:\n%s", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseExamplePolicyFile keeps the checked-in operator example valid:
+// if the schema moves, the example must move with it.
+func TestParseExamplePolicyFile(t *testing.T) {
+	p, err := LoadPolicyFile("../../examples/alerts.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Notifiers) == 0 || len(p.Rules) == 0 {
+		t.Fatalf("example policy should declare notifiers and rules: %+v", p)
+	}
+	hasWebhook := false
+	for _, n := range p.Notifiers {
+		if n.Type == "webhook" {
+			hasWebhook = true
+		}
+	}
+	if !hasWebhook {
+		t.Fatal("example policy should include a webhook notifier")
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"# whole line", ""},
+		{"key: value # trailing", "key: value "},
+		{`url: "http://x#frag"`, `url: "http://x#frag"`},
+		{"key: a#b", "key: a#b"}, // '#' not preceded by space stays
+	}
+	for _, c := range cases {
+		if got := stripComment(c.in); got != c.want {
+			t.Errorf("stripComment(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/detect"
 	"repro/internal/sysimage"
 	"repro/internal/telemetry"
@@ -57,6 +59,30 @@ type Engine struct {
 	// warn, completions at debug), each correlated with its scan.image
 	// span. Nil silences engine logging.
 	Log *slog.Logger
+	// Alerts, when set, receives every warning as a severity-classified
+	// alert. Publishing is non-blocking by construction (a full queue
+	// drops and counts instead of stalling the worker), so the scan hot
+	// path never waits on a notifier.
+	Alerts *alert.Pipeline
+	// RequestID correlates this batch's alerts with its invocation (the
+	// daemon's X-Request-Id, or a CLI run ID). Empty means the engine
+	// generates one per batch, so even ad-hoc CLI scans emit joinable
+	// alerts.
+	RequestID string
+	// PlanVersion is the knowledge provenance stamped on alerts
+	// ("v3" from the registry, "plan:mysql.plan" from the CLI, ...).
+	PlanVersion string
+}
+
+// alertApp derives an alert's app routing key from a flagged attribute:
+// config attributes are named "app:Entry" (the assembler's canonical
+// column names); environment attributes ("Sys.HostName", "OS.Version")
+// fall under "system".
+func alertApp(attr string) string {
+	if app, _, ok := strings.Cut(attr, ":"); ok {
+		return app
+	}
+	return "system"
 }
 
 // ScanError is the per-image failure record of a non-strict batch scan.
@@ -231,6 +257,14 @@ func (e *Engine) run(tasks []task) (*Result, error) {
 	}
 	defer e.Telemetry.StartStage(telemetry.StageScanBatch)()
 
+	// Every alert from this batch carries the same request ID; generate
+	// one when the caller (CLI) didn't supply one so batch alerts are
+	// still joinable per invocation.
+	reqID := e.RequestID
+	if reqID == "" && e.Alerts != nil {
+		reqID = "scan-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -287,6 +321,12 @@ func (e *Engine) run(tasks []task) (*Result, error) {
 				e.Telemetry.Add(telemetry.CounterImagesScanned, 1)
 				if items[i].Err == nil {
 					warnings := len(items[i].Report.Warnings)
+					if e.Alerts != nil {
+						for _, w := range items[i].Report.Warnings {
+							e.Alerts.Publish(alert.FromWarning(w,
+								alertApp(w.Attr), items[i].ImageID, reqID, e.PlanVersion))
+						}
+					}
 					e.Telemetry.Add(telemetry.CounterFindingsEmitted, int64(warnings))
 					e.Progress.Step(warnings)
 					sp.Logger(e.Log).Debug("image scanned",

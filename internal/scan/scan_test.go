@@ -2,17 +2,21 @@ package scan_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	encore "repro"
+	"repro/internal/alert"
 	"repro/internal/corpus"
 	"repro/internal/detect"
+	"repro/internal/inject"
 	"repro/internal/scan"
 	"repro/internal/sysimage"
 	"repro/internal/telemetry"
@@ -287,5 +291,102 @@ func TestEngineRequiresCheck(t *testing.T) {
 	eng := &scan.Engine{}
 	if _, err := eng.Scan(nil); err == nil {
 		t.Fatal("engine without Check should error")
+	}
+}
+
+// memNotifier captures delivered alerts for assertions.
+type memNotifier struct {
+	mu  sync.Mutex
+	got []alert.Alert
+}
+
+func (m *memNotifier) Name() string { return "mem" }
+
+func (m *memNotifier) Notify(a *alert.Alert) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.got = append(m.got, *a)
+	return nil
+}
+
+func (m *memNotifier) alerts() []alert.Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]alert.Alert(nil), m.got...)
+}
+
+// TestScanPublishesAlerts: every warning a batch scan emits must reach
+// the alert pipeline carrying the batch request ID (generated when the
+// engine has none) and the engine's plan-version provenance.
+func TestScanPublishesAlerts(t *testing.T) {
+	fw, k, targets := fleet(t, 3, -1)
+	if _, err := inject.New(7).Inject(targets[0], "mysql", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := &memNotifier{}
+	pipe, err := alert.NewPipeline(alert.Options{Notifiers: []alert.Notifier{mem}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fw.ScanEngine(k)
+	eng.Alerts = pipe
+	eng.PlanVersion = "plan:test.plan"
+	res, err := eng.Scan(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	warnings := 0
+	for _, it := range res.Items {
+		if it.Report != nil {
+			warnings += len(it.Report.Warnings)
+		}
+	}
+	if warnings == 0 {
+		t.Fatal("injected fleet produced no warnings")
+	}
+	got := mem.alerts()
+	if len(got) != warnings {
+		t.Fatalf("notifier saw %d alerts, want %d", len(got), warnings)
+	}
+	reqID := got[0].RequestID
+	if !strings.HasPrefix(reqID, "scan-") {
+		t.Fatalf("generated batch request id = %q, want scan- prefix", reqID)
+	}
+	for _, a := range got {
+		if a.RequestID != reqID {
+			t.Fatalf("request id not shared across the batch: %q vs %q", a.RequestID, reqID)
+		}
+		if a.PlanVersion != "plan:test.plan" || a.App == "" || a.Severity == "" {
+			t.Fatalf("alert provenance wrong: %+v", a)
+		}
+	}
+	if s := pipe.Stats(); s.Published != int64(warnings) || s.Delivered != int64(warnings) {
+		t.Fatalf("pipeline stats = %+v, want %d published and delivered", s, warnings)
+	}
+
+	// An explicit engine request ID flows through unchanged.
+	mem2 := &memNotifier{}
+	pipe2, err := alert.NewPipeline(alert.Options{Notifiers: []alert.Notifier{mem2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := fw.ScanEngine(k)
+	eng2.Alerts = pipe2
+	eng2.RequestID = "batch-42"
+	if _, err := eng2.Scan(targets); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range mem2.alerts() {
+		if a.RequestID != "batch-42" {
+			t.Fatalf("explicit request id lost: %+v", a)
+		}
 	}
 }

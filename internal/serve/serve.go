@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/detect"
 	"repro/internal/sysimage"
 	"repro/internal/telemetry"
@@ -47,6 +48,12 @@ type Options struct {
 	// before Plan.Check — test instrumentation for drain and swap-race
 	// tests. Leave nil in production.
 	ScanHook func(app string)
+	// Alerts, when set, receives every scan finding as a
+	// severity-classified alert carrying the request ID and plan
+	// version; GET /v1/alerts serves its recent ring. The daemon owns
+	// the pipeline's drain: Shutdown delivers everything queued before
+	// returning, so the final telemetry snapshot sees every outcome.
+	Alerts *alert.Pipeline
 }
 
 // Daemon is the resident scan service. New starts it listening; Shutdown
@@ -95,6 +102,7 @@ func New(opts Options) (*Daemon, error) {
 	mux.HandleFunc("POST /v1/scan/{app}", d.instrument("scan", d.handleScan))
 	mux.HandleFunc("POST /v1/profiles/{app}", d.instrument("profiles", d.handleProfileUpload))
 	mux.HandleFunc("GET /v1/status", d.instrument("status", d.handleStatus))
+	mux.HandleFunc("GET /v1/alerts", d.instrument("alerts", d.handleAlerts))
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
@@ -145,6 +153,12 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 			shutErr = err
 		}
 		<-d.done
+		// Drain the alert pipeline after the last handler has returned,
+		// so every published finding is delivered (or counted as failed)
+		// before the caller snapshots telemetry. Nil-safe and idempotent.
+		if err := d.opts.Alerts.Shutdown(ctx); err != nil && shutErr == nil {
+			shutErr = err
+		}
 	})
 	if shutErr != nil {
 		return shutErr
@@ -251,20 +265,6 @@ func apiError(w http.ResponseWriter, rc *reqCtx, code int, format string, args .
 	})
 }
 
-// severity buckets a warning score for the findings counter: the score
-// scale tops out around 90 (unanimous-training violations) with
-// correlation warnings at 40–60 and weak unseen-value signals below.
-func severity(score float64) string {
-	switch {
-	case score >= 70:
-		return "high"
-	case score >= 40:
-		return "medium"
-	default:
-		return "low"
-	}
-}
-
 // scanResponse is the /v1/scan reply: request identity, the registry
 // version the scan ran against, and the report in the CLI's check -json
 // shape.
@@ -332,7 +332,8 @@ func (d *Daemon) handleScan(w http.ResponseWriter, r *http.Request, rc *reqCtx) 
 	d.rec.ObserveLabeled("encore_serve_scan_seconds", appLabel, elapsed)
 	for _, warn := range report.Warnings {
 		d.rec.AddLabeled("encore_serve_findings_total",
-			telemetry.L("app", rc.App, "severity", severity(warn.Score)), 1)
+			telemetry.L("app", rc.App, "severity", string(alert.SeverityForScore(warn.Score))), 1)
+		d.opts.Alerts.Publish(alert.FromWarning(warn, rc.App, img.ID, rc.ID, entry.Version))
 	}
 
 	reportJSON, err := report.RenderJSON()
@@ -481,6 +482,40 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request, rc *reqCtx
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(doc)
+}
+
+// alertsDoc is the /v1/alerts document: whether a pipeline is wired,
+// cumulative pipeline counters, and the recent-alert ring newest-first.
+// Each record carries the originating request ID and plan version plus
+// per-notifier delivery outcomes.
+type alertsDoc struct {
+	Enabled bool           `json:"enabled"`
+	Stats   alert.Stats    `json:"stats"`
+	Count   int            `json:"count"`
+	Alerts  []alert.Record `json:"alerts"`
+}
+
+func (d *Daemon) handleAlerts(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			apiError(w, rc, http.StatusBadRequest, "limit must be a non-negative integer, got %q", s)
+			return
+		}
+		limit = n
+	}
+	recent := d.opts.Alerts.Recent(limit)
+	if recent == nil {
+		recent = []alert.Record{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(alertsDoc{
+		Enabled: d.opts.Alerts != nil,
+		Stats:   d.opts.Alerts.Stats(),
+		Count:   len(recent),
+		Alerts:  recent,
+	})
 }
 
 // handleHealthz is pure liveness: the process is up and serving. It

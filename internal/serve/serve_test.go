@@ -16,6 +16,7 @@ import (
 	"time"
 
 	encore "repro"
+	"repro/internal/alert"
 	"repro/internal/corpus"
 	"repro/internal/detect"
 	"repro/internal/inject"
@@ -567,6 +568,184 @@ func TestDaemonCloseNoGoroutineLeak(t *testing.T) {
 	}
 	if err := d.Close(); err != nil { // idempotent
 		t.Fatal(err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// memNotifier captures delivered alerts for assertions.
+type memNotifier struct {
+	mu    sync.Mutex
+	got   []alert.Alert
+	delay time.Duration
+}
+
+func (m *memNotifier) Name() string { return "mem" }
+
+func (m *memNotifier) Notify(a *alert.Alert) error {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.got = append(m.got, *a)
+	return nil
+}
+
+func (m *memNotifier) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.got)
+}
+
+// alertsDoc mirrors the /v1/alerts response shape.
+type alertsDoc struct {
+	Enabled bool           `json:"enabled"`
+	Stats   alert.Stats    `json:"stats"`
+	Count   int            `json:"count"`
+	Alerts  []alert.Record `json:"alerts"`
+}
+
+// TestScanAlertsCarryProvenance: every warning a scan request produces
+// must reach the pipeline carrying that request's ID and the registry
+// plan version, and surface on GET /v1/alerts with delivery outcomes.
+func TestScanAlertsCarryProvenance(t *testing.T) {
+	rec := telemetry.New()
+	mem := &memNotifier{}
+	pipe, err := alert.NewPipeline(alert.Options{Notifiers: []alert.Notifier{mem}, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, base := startDaemon(t, serve.Options{Rec: rec, Alerts: pipe})
+	if _, err := d.Registry().Register("mysql", "", buildPlan(t, "mysql", 30, 19), "test"); err != nil {
+		t.Fatal(err)
+	}
+	victim := brokenVictim(t, "mysql", 4, 8)
+
+	resp, sr := postScan(t, base+"/v1/scan/mysql", victim, map[string]string{"X-Request-Id": "trace-alert-7"})
+	if resp.StatusCode != http.StatusOK || sr.Findings == 0 {
+		t.Fatalf("scan: status=%d findings=%d", resp.StatusCode, sr.Findings)
+	}
+
+	// Delivery is asynchronous; poll the ring until every finding landed.
+	var doc alertsDoc
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := getBody(t, base+"/v1/alerts")
+		doc = alertsDoc{}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Count >= sr.Findings {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alerts ring has %d records, want %d", doc.Count, sr.Findings)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !doc.Enabled {
+		t.Fatal("alerts doc reports disabled with a live pipeline")
+	}
+	for _, rcd := range doc.Alerts {
+		if rcd.RequestID != "trace-alert-7" || rcd.PlanVersion != "v1" || rcd.App != "mysql" {
+			t.Fatalf("alert provenance wrong: %+v", rcd.Alert)
+		}
+		if rcd.Severity == "" || rcd.Family == "" || rcd.Attr == "" {
+			t.Fatalf("alert classification missing: %+v", rcd.Alert)
+		}
+		if len(rcd.Deliveries) != 1 || rcd.Deliveries[0].Notifier != "mem" || rcd.Deliveries[0].Outcome != alert.OutcomeOK {
+			t.Fatalf("alert deliveries wrong: %+v", rcd.Deliveries)
+		}
+	}
+	if mem.count() != sr.Findings {
+		t.Fatalf("notifier saw %d alerts, want %d", mem.count(), sr.Findings)
+	}
+
+	// ?limit trims newest-first; a bad limit is a clean JSON 400.
+	if _, body := getBody(t, base+"/v1/alerts?limit=1"); !bytes.Contains(body, []byte(`"count":1`)) {
+		t.Fatalf("limit=1 not honoured: %s", body)
+	}
+	if code, _ := getBody(t, base+"/v1/alerts?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %d", code)
+	}
+
+	// Self-metrics joined the shared recorder.
+	prom := rec.Snapshot().PromText()
+	for _, want := range []string{
+		`encore_alerts_total{notifier="mem",outcome="ok",severity=`,
+		`encore_alert_delivery_seconds_count{notifier="mem"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestAlertsEndpointWithoutPipeline: /v1/alerts stays a valid document
+// when no -alerts policy was configured.
+func TestAlertsEndpointWithoutPipeline(t *testing.T) {
+	_, base := startDaemon(t, serve.Options{Rec: telemetry.New()})
+	code, body := getBody(t, base+"/v1/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("alerts status = %d", code)
+	}
+	var doc alertsDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Enabled || doc.Count != 0 || len(doc.Alerts) != 0 {
+		t.Fatalf("disabled doc wrong: %+v", doc)
+	}
+}
+
+// TestShutdownDrainsAlertPipeline: Daemon.Shutdown must deliver every
+// queued alert through a slow notifier before returning, and leave no
+// dispatcher goroutine behind.
+func TestShutdownDrainsAlertPipeline(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	rec := telemetry.New()
+	mem := &memNotifier{delay: 2 * time.Millisecond}
+	pipe, err := alert.NewPipeline(alert.Options{Notifiers: []alert.Notifier{mem}, Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, base := startDaemon(t, serve.Options{Rec: rec, Alerts: pipe})
+	if _, err := d.Registry().Register("mysql", "", buildPlan(t, "mysql", 30, 19), "test"); err != nil {
+		t.Fatal(err)
+	}
+	victim := brokenVictim(t, "mysql", 4, 8)
+	resp, sr := postScan(t, base+"/v1/scan/mysql", victim, nil)
+	if resp.StatusCode != http.StatusOK || sr.Findings == 0 {
+		t.Fatalf("scan: status=%d findings=%d", resp.StatusCode, sr.Findings)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s := pipe.Stats()
+	if s.Published != int64(sr.Findings) || s.Delivered != s.Published || s.Dropped != 0 {
+		t.Fatalf("pipeline not drained: %+v (findings %d)", s, sr.Findings)
+	}
+	if mem.count() != sr.Findings {
+		t.Fatalf("notifier saw %d alerts after drain, want %d", mem.count(), sr.Findings)
 	}
 	http.DefaultClient.CloseIdleConnections()
 

@@ -116,6 +116,11 @@ var promLabeledHelp = map[string]string{
 	"encore_serve_plan_last_swap_timestamp_seconds": "Unix time of the last plan swap per app.",
 	"encore_serve_inflight_requests":                "Requests currently being served.",
 	"encore_build_info":                             "Build metadata; the value is always 1.",
+	"encore_alerts_total":                           "Alert delivery attempts by notifier, severity, and outcome.",
+	"encore_alerts_dropped_total":                   "Alerts dropped because the bounded queue was full.",
+	"encore_alerts_suppressed_total":                "Alerts suppressed before delivery, by reason (policy, dedup, rate).",
+	"encore_alert_queue_depth":                      "Alerts buffered in the pipeline queue awaiting dispatch.",
+	"encore_alert_delivery_seconds":                 "Alert delivery latency per notifier (seconds).",
 }
 
 // promLabeledHelpFor resolves a labeled family's HELP string.

@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench_summary.sh FILE... — append a compact machine-readable summary to
+# each recorded benchmark file.
+#
+# The BENCH_*.json files are raw `go test -json` event streams: benchmark
+# measurements are buried in "output" events as text lines. Trend tooling
+# should not have to reassemble them, so this script distills one JSON
+# line per benchmark:
+#
+#   {"summary":"bench","benchmark":"BenchmarkServeScan","ns_per_op":304855,"b_per_op":59355,"allocs_per_op":556}
+#
+# and appends it to the stream (valid JSONL; consumers of the raw events
+# skip it by Action being absent, consumers of the trend grep
+# '"summary":"bench"'). Re-running is idempotent: prior summary lines are
+# stripped before the refreshed ones are appended.
+set -eu
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: $0 BENCH_file.json..." >&2
+    exit 2
+fi
+
+for f in "$@"; do
+    [ -f "$f" ] || { echo "bench_summary: no such file: $f" >&2; exit 1; }
+    tmp="$f.tmp"
+    grep -v '"summary":"bench"' "$f" > "$tmp" || true
+    # A measurement event looks like:
+    #   {"Action":"output","Test":"BenchmarkX","Output":"  3813\t 304855 ns/op\t 59355 B/op\t 556 allocs/op\n"}
+    # Pull the Test name, unescape the \t separators, then read the value
+    # preceding each unit token. Extra units (custom ReportMetric columns)
+    # pass through harmlessly; missing -benchmem columns yield 0.
+    awk '
+        /"Action":"output"/ && / ns\/op/ {
+            name = ""
+            if (match($0, /"Test":"[^"]*"/)) {
+                name = substr($0, RSTART + 8, RLENGTH - 9)
+            }
+            if (name == "") next
+            out = $0
+            sub(/.*"Output":"/, "", out)
+            sub(/\\n"}.*/, "", out)
+            gsub(/\\t/, " ", out)
+            n = split(out, tok, /[ ]+/)
+            ns = b = allocs = ""
+            for (i = 2; i <= n; i++) {
+                if (tok[i] == "ns/op") ns = tok[i-1]
+                else if (tok[i] == "B/op") b = tok[i-1]
+                else if (tok[i] == "allocs/op") allocs = tok[i-1]
+            }
+            if (ns == "") next
+            if (b == "") b = 0
+            if (allocs == "") allocs = 0
+            printf "{\"summary\":\"bench\",\"benchmark\":\"%s\",\"ns_per_op\":%s,\"b_per_op\":%s,\"allocs_per_op\":%s}\n", name, ns, b, allocs
+        }
+    ' "$tmp" >> "$tmp"
+    mv "$tmp" "$f"
+    grep -c '"summary":"bench"' "$f" | {
+        read -r n
+        echo "bench_summary: $f — $n benchmark(s) summarized"
+    }
+done

@@ -1,8 +1,11 @@
 #!/bin/sh
 # End-to-end smoke of the resident scan daemon: build a stamped binary,
-# preload a compiled plan, boot on a random port, scan a deliberately
-# misconfigured image over HTTP, assert findings and per-app metrics
-# labels, hot-swap a plan upload, then SIGTERM and require exit 0.
+# preload a compiled plan, boot a local webhook sink and an alerting
+# policy routed at it, boot the daemon on a random port, scan a
+# deliberately misconfigured image over HTTP, assert findings, per-app
+# metrics labels, and delivered alerts (webhook JSONL with request-ID and
+# plan-version provenance, /v1/alerts ring, encore_alerts_total), hot-swap
+# a plan upload, then SIGTERM and require exit 0.
 set -eu
 
 GO=${GO:-go}
@@ -12,12 +15,42 @@ rm -rf "$DIR" && mkdir -p "$DIR/plans"
 
 cleanup() {
     [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    [ -n "${SINK_PID:-}" ] && kill -9 "$SINK_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
 
 echo "serve-smoke: building stamped binary"
 $GO build -ldflags "-X main.version=$VERSION" -o "$DIR/encore" ./cmd/encore
 "$DIR/encore" version | grep -q "encore $VERSION"
+
+echo "serve-smoke: booting webhook alert sink"
+$GO build -o "$DIR/alertsink" ./cmd/alertsink
+"$DIR/alertsink" -addr 127.0.0.1:0 -addr-file "$DIR/sink-addr" -out "$DIR/sink.jsonl" &
+SINK_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$DIR/sink-addr" ] && break
+    kill -0 "$SINK_PID" 2>/dev/null || { echo "serve-smoke: alertsink died during boot"; exit 1; }
+    sleep 0.1
+done
+[ -s "$DIR/sink-addr" ] || { echo "serve-smoke: alertsink never wrote addr-file"; exit 1; }
+SINK="http://$(cat "$DIR/sink-addr" | tr -d '[:space:]')/hook"
+
+cat > "$DIR/alerts.yaml" <<EOF
+version: 1
+notifiers:
+  - name: hook
+    type: webhook
+    url: $SINK
+    timeout: 2s
+    retries: 2
+    backoff: 100ms
+  - name: audit
+    type: file
+    path: $DIR/alerts.jsonl
+rules:
+  - family: "*"
+    notify: [hook, audit]
+EOF
 
 echo "serve-smoke: generating corpus + misconfigured victim"
 $GO run ./cmd/imagegen -app mysql -n 10 -seed 7 -out "$DIR/training" >/dev/null
@@ -28,6 +61,7 @@ $GO run ./cmd/confinject -image "$VICTIM" -app mysql -n 8 -seed 4 -out "$DIR/bro
 
 echo "serve-smoke: booting daemon"
 "$DIR/encore" serve -addr 127.0.0.1:0 -addr-file "$DIR/addr" -plans "$DIR/plans" \
+    -alerts "$DIR/alerts.yaml" \
     -shutdown-timeout 5s -stats-json "$DIR/stats.json" -log-level warn &
 DAEMON_PID=$!
 
@@ -44,11 +78,31 @@ curl -fsS "$BASE/readyz" | grep -q '"ready"'
 curl -fsS "$BASE/healthz" | grep -q '"ok"'
 
 echo "serve-smoke: scanning misconfigured image"
-curl -fsS -X POST --data-binary @"$DIR/broken.json" "$BASE/v1/scan/mysql" > "$DIR/scan.json"
+curl -fsS -X POST -H 'X-Request-Id: smoke-trace-1' \
+    --data-binary @"$DIR/broken.json" "$BASE/v1/scan/mysql" > "$DIR/scan.json"
 grep -q '"planVersion":"v1"' "$DIR/scan.json"
-grep -q '"requestId"' "$DIR/scan.json"
+grep -q '"requestId":"smoke-trace-1"' "$DIR/scan.json"
 grep -q '"warnings"' "$DIR/scan.json"
 grep -q '"findings":0' "$DIR/scan.json" && { echo "serve-smoke: no findings on injected image"; exit 1; }
+
+echo "serve-smoke: waiting for webhook alert delivery"
+for _ in $(seq 1 100); do
+    grep -q '"requestId":"smoke-trace-1"' "$DIR/sink.jsonl" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q '"requestId":"smoke-trace-1"' "$DIR/sink.jsonl" || { echo "serve-smoke: webhook never received the alert"; exit 1; }
+grep -q '"planVersion":"v1"' "$DIR/sink.jsonl"
+grep -q '"severity"' "$DIR/sink.jsonl"
+grep -q '"app":"mysql"' "$DIR/sink.jsonl"
+grep -q '"requestId":"smoke-trace-1"' "$DIR/alerts.jsonl" || { echo "serve-smoke: file notifier missed the alert"; exit 1; }
+
+echo "serve-smoke: checking recent-alert ring"
+curl -fsS "$BASE/v1/alerts" > "$DIR/alerts-ring.json"
+grep -q '"enabled":true' "$DIR/alerts-ring.json"
+grep -q '"requestId":"smoke-trace-1"' "$DIR/alerts-ring.json"
+grep -q '"planVersion":"v1"' "$DIR/alerts-ring.json"
+grep -q '"notifier":"hook"' "$DIR/alerts-ring.json"
+grep -q '"outcome":"ok"' "$DIR/alerts-ring.json"
 
 echo "serve-smoke: checking per-app metrics"
 curl -fsS "$BASE/metrics" > "$DIR/metrics.prom"
@@ -57,6 +111,9 @@ grep -q 'encore_serve_scan_seconds_count{app="mysql"} 1' "$DIR/metrics.prom"
 grep -q 'encore_serve_findings_total{app="mysql",severity=' "$DIR/metrics.prom"
 grep -q 'encore_serve_plans_loaded 1' "$DIR/metrics.prom"
 grep -q "encore_build_info{go_version=\"go.*\",version=\"$VERSION\"} 1" "$DIR/metrics.prom"
+grep -q 'encore_alerts_total{notifier="hook",outcome="ok",severity=' "$DIR/metrics.prom"
+grep -q 'encore_alerts_total{notifier="audit",outcome="ok",severity=' "$DIR/metrics.prom"
+grep -q 'encore_alert_delivery_seconds_count{notifier="hook"}' "$DIR/metrics.prom"
 
 echo "serve-smoke: hot-swapping plan upload"
 curl -fsS -X POST --data-binary @"$DIR/plans/mysql.plan" "$BASE/v1/profiles/mysql" > "$DIR/upload.json"
@@ -71,5 +128,10 @@ wait "$DAEMON_PID" || { echo "serve-smoke: daemon exited non-zero"; exit 1; }
 DAEMON_PID=""
 grep -q '"phase": "done"' "$DIR/stats.json"
 grep -q 'encore_serve_requests_total' "$DIR/stats.json"
+grep -q 'encore_alerts_total' "$DIR/stats.json"
+
+kill -TERM "$SINK_PID"
+wait "$SINK_PID" || { echo "serve-smoke: alertsink exited non-zero"; exit 1; }
+SINK_PID=""
 
 echo "serve-smoke: daemon lifecycle OK"
