@@ -4,7 +4,7 @@ GO ?= go
 # the encore_build_info metric). Falls back to "dev" outside a git clone.
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 
-.PHONY: tier1 tier2 smoke serve-smoke eval-matrix eval-matrix-smoke build bench bench-rules bench-scan bench-check bench-plan bench-serve bench-all bench-smoke fuzz fmt
+.PHONY: tier1 tier2 smoke serve-smoke fleet-smoke eval-matrix eval-matrix-smoke build bench bench-rules bench-scan bench-check bench-plan bench-serve bench-fleet bench-all bench-smoke fuzz fmt
 
 # Stamped CLI binary: bin/encore reports $(VERSION) via `encore version`.
 build:
@@ -47,6 +47,12 @@ smoke:
 # then SIGTERM it and require a clean exit.
 serve-smoke:
 	VERSION=$(VERSION) ./scripts/serve_smoke.sh
+
+# Fleet smoke: push a 1k synthetic fleet through the sharded CLI path
+# and the daemon's NDJSON batch endpoint, asserting the encore_fleet_*
+# metric families on both.
+fleet-smoke:
+	VERSION=$(VERSION) ./scripts/fleet_smoke.sh
 
 # Regenerate the checked-in evaluation matrix: every error class × every
 # app population × every detector configuration at the default seed.
@@ -118,13 +124,24 @@ bench-serve:
 	@grep -o '"Output":"[^"]*"' BENCH_serve.json | sed 's/^"Output":"//;s/"$$//' | \
 		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
 
+# Fleet-scale perf trajectory: the sharded coordinator over 1k/10k/100k
+# synthetic fleets, recorded machine-readably like the other bench
+# families. ns/image is the throughput headline; peak-heap-bytes staying
+# flat across the 1k→100k axis is the constant-memory claim, and
+# steals/op shows the work-stealing deques actually engage.
+bench-fleet:
+	$(GO) test -run '^$$' -bench=FleetScan -benchmem -timeout 30m -json . > BENCH_fleet.json.tmp && mv BENCH_fleet.json.tmp BENCH_fleet.json
+	./scripts/bench_summary.sh BENCH_fleet.json
+	@grep -o '"Output":"[^"]*"' BENCH_fleet.json | sed 's/^"Output":"//;s/"$$//' | \
+		awk '{gsub(/\\t/,"\t");gsub(/\\n/,"\n");printf "%s",$$0}' | grep 'ns/op'
+
 # Refresh every recorded benchmark file in one go.
-bench-all: bench-rules bench-scan bench-check bench-plan bench-serve
+bench-all: bench-rules bench-scan bench-check bench-plan bench-serve bench-fleet
 
 # One-iteration pass over the recorded benchmark families so CI catches
 # bench bit-rot without paying for stable measurements.
 bench-smoke:
-	$(GO) test -run '^$$' -bench='BatchScan|RuleInference|DetectorCheck|ProfileCheck|PlanCheck|PlanColdStart|IncrementalInfer' \
+	$(GO) test -run '^$$' -bench='BatchScan|RuleInference|DetectorCheck|ProfileCheck|PlanCheck|PlanColdStart|IncrementalInfer|FleetScan/images=1000' \
 		-benchtime 1x -benchmem . >/dev/null
 	$(GO) test -run '^$$' -bench=ServeScan -benchtime 1x -benchmem ./internal/serve >/dev/null
 	@echo "bench-smoke: benchmarks build and run OK"

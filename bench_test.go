@@ -14,16 +14,22 @@ import (
 	"runtime"
 	"testing"
 
+	"context"
 	"repro/internal/assemble"
 	"repro/internal/baseline"
 	"repro/internal/conftypes"
 	"repro/internal/corpus"
 	"repro/internal/dataset"
+	"time"
+
 	"repro/internal/eval"
+	"repro/internal/fleet"
 	"repro/internal/inject"
 	"repro/internal/mining"
 	"repro/internal/rules"
+	"repro/internal/scan"
 	"repro/internal/sysimage"
+	"repro/internal/telemetry"
 )
 
 const benchSeed = 1
@@ -565,9 +571,14 @@ func BenchmarkBatchScanWorkersNumCPU(b *testing.B) {
 	}
 }
 
-// BenchmarkBatchScanWorkers records the full worker-scaling curve of the
-// batch scan (one sub-benchmark per pool size), so BENCH_scan.json tracks
-// the shape of the curve across PRs, not just its two endpoints.
+// BenchmarkBatchScanWorkers records the worker-scaling surface of the
+// batch scan: one sub-benchmark per (corpus size, pool size) point. The
+// corpus-size axis exists because a 32-image fleet finishes too fast for
+// the workers axis to discriminate (its 1-worker and NumCPU-worker points
+// used to report identical ns/op); the 1k and 10k points replicate the
+// loaded images by pointer — Plan.Check is read-only — so task count
+// scales without corpus memory, and parallel speedup (or a regression in
+// it) is visible in ns/image.
 func BenchmarkBatchScanWorkers(b *testing.B) {
 	fw, k, targets := benchScanFleet(b)
 	eng := fw.ScanEngine(k)
@@ -575,15 +586,66 @@ func BenchmarkBatchScanWorkers(b *testing.B) {
 	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
 		axis = append(axis, n)
 	}
-	for _, w := range axis {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			eng.Workers = w
+	for _, size := range []int{32, 1000, 10000} {
+		images := make([]*Image, size)
+		for i := range images {
+			images[i] = targets[i%len(targets)]
+		}
+		for _, w := range axis {
+			b.Run(fmt.Sprintf("images=%d/workers=%d", size, w), func(b *testing.B) {
+				eng.Workers = w
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Scan(images); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(size), "ns/image")
+			})
+		}
+	}
+}
+
+// BenchmarkFleetScan measures the sharded coordinator over synthetic
+// fleets one, two, and three orders of magnitude past the corpus bench:
+// every image streams through the full decode + check path. Alongside
+// ns/image it reports the runtime sampler's peak heap — the constant-
+// memory acceptance number: the 100k point must hold within 1.5× of the
+// 10k point — and the steal rate.
+func BenchmarkFleetScan(b *testing.B) {
+	fw, k, targets := benchScanFleet(b)
+	eng := fw.ScanEngine(k)
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("images=%d", size), func(b *testing.B) {
+			src, err := fleet.NewSyntheticSource(targets[:4], size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var peak uint64
+			var steals int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Scan(targets); err != nil {
+				s := telemetry.NewSampler(2*time.Millisecond, 1<<15)
+				s.Start()
+				coord := &fleet.Coordinator{Opts: fleet.Options{Check: eng.Check, Shards: 4}}
+				stats, err := coord.Run(context.Background(), src, func(int, scan.Item) {})
+				s.Stop()
+				if err != nil {
 					b.Fatal(err)
 				}
+				if stats.Images != int64(size) {
+					b.Fatalf("images = %d, want %d", stats.Images, size)
+				}
+				steals += stats.Steals
+				for _, sm := range s.Samples() {
+					if sm.HeapBytes > peak {
+						peak = sm.HeapBytes
+					}
+				}
 			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(size), "ns/image")
+			b.ReportMetric(float64(peak), "peak-heap-bytes")
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
 		})
 	}
 }

@@ -23,9 +23,12 @@ import (
 	"strings"
 	"time"
 
+	"sync"
+
 	encore "repro"
 	"repro/internal/alert"
 	"repro/internal/collector"
+	"repro/internal/fleet"
 	"repro/internal/scan"
 	"repro/internal/sysimage"
 	"repro/internal/telemetry"
@@ -403,6 +406,8 @@ func runScan(args []string) (err error) {
 	customFile := fs.String("custom", "", "customization file")
 	strict := fs.Bool("strict", false, "abort the batch on the first failing image instead of isolating it")
 	workers := fs.Int("workers", 0, "scan worker pool size (0 = NumCPU)")
+	shards := fs.Int("shards", 0, "scan -targets through the sharded fleet coordinator with this many shards (0 = unsharded engine)")
+	fleetSize := fs.Int("fleet", 0, "scan a synthetic fleet of this many images cycling the -targets corpus (implies the fleet coordinator)")
 	progress := fs.Bool("progress", false, "report periodic batch progress (done/total, findings, ETA) on stderr")
 	progressEvery := fs.Duration("progress-every", 2*time.Second, "progress reporting interval")
 	alertsFile := fs.String("alerts", "", "alerting policy YAML; findings fan out to its notifiers (see examples/alerts.yaml)")
@@ -412,6 +417,13 @@ func runScan(args []string) (err error) {
 	}
 	if !exactlyOne(*training, *profileIn, *planIn) || *targets == "" {
 		return fmt.Errorf("scan: -targets and exactly one of -training / -profile / -plan are required")
+	}
+	fleetMode := *shards > 0 || *fleetSize > 0
+	if fleetMode && *strict {
+		// Strict mode's contract is "first failure in input order aborts the
+		// batch"; the coordinator processes out of order by design, so
+		// honoring that ordering would serialize the fleet.
+		return fmt.Errorf("scan: -strict cannot be combined with -shards/-fleet")
 	}
 	fw, err := newFramework(*customFile)
 	if err != nil {
@@ -477,12 +489,16 @@ func runScan(args []string) (err error) {
 	}
 	if *progress || obs.Serving() {
 		// The reporter needs the batch size up front; count the target
-		// files the same way ScanDir will. A live -serve run gets a silent
-		// reporter even without -progress, so the runtime sampler can
-		// expose encore_progress_done/_total on /metrics.
-		total, err := countTargets(*targets)
-		if err != nil {
-			return err
+		// files the same way ScanDir will (synthetic fleets know theirs).
+		// A live -serve run gets a silent reporter even without -progress,
+		// so the runtime sampler can expose encore_progress_done/_total on
+		// /metrics.
+		total := *fleetSize
+		if total == 0 {
+			total, err = countTargets(*targets)
+			if err != nil {
+				return err
+			}
 		}
 		w := io.Writer(os.Stderr)
 		if !*progress {
@@ -494,6 +510,9 @@ func runScan(args []string) (err error) {
 		defer p.Stop()
 	}
 
+	if fleetMode {
+		return runFleetScan(eng, obs.Rec, alerts, *targets, *fleetSize, *shards, *minWarnings, planVersion)
+	}
 	result, err := eng.ScanDir(*targets)
 	if err != nil {
 		return err
@@ -504,28 +523,44 @@ func runScan(args []string) (err error) {
 		return err
 	}
 	for _, it := range result.Items {
-		if it.Err != nil {
-			name := it.Err.ImageID
-			if name == "" {
-				name = it.Err.Path
-			}
-			fmt.Printf("%-28s FAILED: %v\n", name, it.Err.Err)
-			continue
-		}
-		report := it.Report
-		if len(report.Warnings) < *minWarnings {
-			continue
-		}
-		kinds := report.CountByKind()
-		fmt.Printf("%-28s %3d warnings (corr %d, type %d, name %d, value %d)\n",
-			it.ImageID, len(report.Warnings),
-			kinds[encore.KindCorrelation], kinds[encore.KindType],
-			kinds[encore.KindName], kinds[encore.KindSuspicious])
-		if top := report.Top(); top != nil {
-			fmt.Printf("%-28s     top: %s\n", "", top.Message)
+		for _, ln := range itemLines(it, *minWarnings) {
+			fmt.Println(ln)
 		}
 	}
-	sum := result.Summarize(*minWarnings)
+	printScanSummary(result.Summarize(*minWarnings), alerts)
+	return nil
+}
+
+// itemLines renders the per-image output block for one scan outcome:
+// failures get their FAILED line, flagged images the warning-count line
+// plus the top finding, healthy images below the floor render nothing.
+// Both the unsharded and fleet scan paths print through this renderer, so
+// their output cannot diverge.
+func itemLines(it scan.Item, minWarnings int) []string {
+	if it.Err != nil {
+		name := it.Err.ImageID
+		if name == "" {
+			name = it.Err.Path
+		}
+		return []string{fmt.Sprintf("%-28s FAILED: %v", name, it.Err.Err)}
+	}
+	report := it.Report
+	if len(report.Warnings) < minWarnings {
+		return nil
+	}
+	kinds := report.CountByKind()
+	lines := []string{fmt.Sprintf("%-28s %3d warnings (corr %d, type %d, name %d, value %d)",
+		it.ImageID, len(report.Warnings),
+		kinds[encore.KindCorrelation], kinds[encore.KindType],
+		kinds[encore.KindName], kinds[encore.KindSuspicious])}
+	if top := report.Top(); top != nil {
+		lines = append(lines, fmt.Sprintf("%-28s     top: %s", "", top.Message))
+	}
+	return lines
+}
+
+// printScanSummary prints the fleet-wide footer shared by both scan paths.
+func printScanSummary(sum scan.Summary, alerts *alert.Pipeline) {
 	if sum.Errors > 0 {
 		fmt.Printf("\nscanned %d images: %d flagged, %d warnings total, %d failed\n",
 			sum.Scanned, sum.Flagged, sum.Warnings, sum.Errors)
@@ -547,7 +582,99 @@ func runScan(args []string) (err error) {
 		fmt.Printf("alerts: %d published, %d delivered, %d failed, %d dropped, %d suppressed\n",
 			s.Published, s.Delivered, s.Failed, s.Dropped, s.Suppressed)
 	}
+}
+
+// runFleetScan drives the sharded coordinator over the target corpus (or
+// a synthetic fleet cycling it) and reproduces runScan's output byte for
+// byte: outcomes are keyed by global input index and printed in canonical
+// order, the summary accumulates incrementally, and error retention is
+// bounded by scan.ErrorLog so a fleet-wide error storm stays at constant
+// memory.
+func runFleetScan(eng *scan.Engine, rec *telemetry.Recorder, alerts *alert.Pipeline, targets string, fleetSize, shards, minWarnings int, planVersion string) error {
+	var src fleet.Source
+	if fleetSize > 0 {
+		imgs, err := sysimage.LoadDir(targets)
+		if err != nil {
+			return err
+		}
+		src, err = fleet.NewSyntheticSource(imgs, fleetSize)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		src, err = fleet.NewDirSource(targets)
+		if err != nil {
+			return err
+		}
+	}
+	var (
+		mu    sync.Mutex
+		lines = map[int][]string{}
+		sum   scan.Summary
+		errs  scan.ErrorLog
+	)
+	coord := &fleet.Coordinator{Opts: fleet.Options{
+		Check:       eng.Check,
+		Shards:      shards,
+		Workers:     eng.Workers,
+		Telemetry:   rec,
+		Log:         eng.Log,
+		Progress:    eng.Progress,
+		Alerts:      alerts,
+		PlanVersion: planVersion,
+	}}
+	stats, err := coord.Run(context.Background(), src, func(idx int, it scan.Item) {
+		mu.Lock()
+		defer mu.Unlock()
+		sum.Observe(it, minWarnings)
+		if it.Err != nil && !errs.Add(it.Err) {
+			return // past the retention cap: counted above, not printed
+		}
+		if ls := itemLines(it, minWarnings); len(ls) != 0 {
+			lines[idx] = ls
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Deliver every queued alert before the fleet summary prints, so the
+	// stats line below is final.
+	if err := alerts.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	idxs := make([]int, 0, len(lines))
+	for i := range lines {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		for _, ln := range lines[i] {
+			fmt.Println(ln)
+		}
+	}
+	if d := errs.Dropped(); d > 0 {
+		fmt.Printf("%-28s ... and %d more failures (retention cap %d)\n", "", d, scan.DefaultMaxErrors)
+	}
+	sum.Finish()
+	printScanSummary(sum, alerts)
+	// Topology note goes to stderr: stdout must stay byte-identical to the
+	// unsharded engine's report.
+	fmt.Fprintf(os.Stderr, "fleet: %d shards, %d workers, %d steals, %s high water\n",
+		stats.Shards, stats.Workers, stats.Steals, formatBytes(stats.HighWaterBytes))
 	return nil
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // countTargets counts the "*.json" images ScanDir will pick up in dir.

@@ -618,3 +618,75 @@ func TestAppFlagsSet(t *testing.T) {
 		t.Fatal("empty name should error; String should render")
 	}
 }
+
+// TestRunScanFleetByteIdentical is the CLI half of the fleet determinism
+// property: `encore scan -shards N` must print byte-identical stdout to
+// the unsharded engine across topologies, corrupt images included.
+func TestRunScanFleetByteIdentical(t *testing.T) {
+	training, _ := fixture(t)
+	targets := t.TempDir()
+	images, err := corpus.Training("mysql", 6, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images = append(images, corpus.RealWorldCases()[2].Build())
+	if err := sysimage.SaveDir(targets, images); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(targets, "corrupt.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	capture := func(args ...string) string {
+		t.Helper()
+		oldOut, oldErr := os.Stdout, os.Stderr
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout, os.Stderr = w, devnull
+		runErr := runScan(args)
+		w.Close()
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devnull.Close()
+		out, readErr := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		if readErr != nil {
+			t.Fatal(readErr)
+		}
+		return string(out)
+	}
+
+	want := capture("-training", training, "-targets", targets)
+	if !strings.Contains(want, "FAILED") || !strings.Contains(want, "scanned 8 images") {
+		t.Fatalf("baseline output unexpected:\n%s", want)
+	}
+	for _, shards := range []string{"1", "2", "5"} {
+		got := capture("-training", training, "-targets", targets, "-shards", shards)
+		if got != want {
+			t.Fatalf("-shards %s output diverged:\ngot:\n%s\nwant:\n%s", shards, got, want)
+		}
+	}
+
+	// Synthetic fleets scale a (clean) corpus; the summary must count the
+	// synthetic size, not the corpus size.
+	clean := t.TempDir()
+	if err := sysimage.SaveDir(clean, images); err != nil {
+		t.Fatal(err)
+	}
+	syn := capture("-training", training, "-targets", clean, "-fleet", "40", "-shards", "2")
+	if !strings.Contains(syn, "scanned 40 images") {
+		t.Fatalf("-fleet 40 summary wrong:\n%s", syn)
+	}
+
+	// -strict is incompatible with the out-of-order coordinator.
+	if err := runScan([]string{"-training", training, "-targets", targets, "-shards", "2", "-strict"}); err == nil {
+		t.Fatal("-strict -shards should be rejected")
+	}
+}

@@ -1,9 +1,11 @@
 package detect
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // RenderText formats the report as a human-readable ranked list. top caps
@@ -51,6 +53,37 @@ func (r *Report) RenderJSON() ([]byte, error) {
 		out.Warnings = append(out.Warnings, wj)
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// reportScratch recycles the serialization scaffolding across AppendJSON
+// calls: the warnings slice is the only per-report allocation of note,
+// and reusing it makes report encoding allocation-free at steady state.
+var reportScratch = sync.Pool{New: func() any { return new(reportJSON) }}
+
+// AppendJSON writes the report's compact serialization into buf — the
+// allocation-light sibling of RenderJSON for hot paths that encode into
+// pooled buffers. The JSON content is identical to RenderJSON up to
+// whitespace (json.Encoder re-compacts embedded RawMessages, so swapping
+// one for the other never changes a response's wire bytes); a trailing
+// newline terminates the document.
+func (r *Report) AppendJSON(buf *bytes.Buffer) error {
+	out := reportScratch.Get().(*reportJSON)
+	out.SystemID = r.SystemID
+	out.Warnings = out.Warnings[:0]
+	for _, w := range r.Warnings {
+		wj := warningJSON{
+			Rank: w.Rank, Kind: w.Kind, Attr: w.Attr,
+			Value: w.Value, Message: w.Message, Score: w.Score,
+		}
+		if w.Rule != nil {
+			wj.Rule = w.Rule.String()
+		}
+		out.Warnings = append(out.Warnings, wj)
+	}
+	err := json.NewEncoder(buf).Encode(out)
+	out.Warnings = out.Warnings[:0]
+	reportScratch.Put(out)
+	return err
 }
 
 // CountByKind tallies warnings per kind.

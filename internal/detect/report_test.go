@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -70,6 +71,40 @@ func TestRenderJSON(t *testing.T) {
 	}
 	if decoded.Warnings[1].Rule != "" {
 		t.Fatal("non-correlation warning should omit the rule")
+	}
+}
+
+func TestAppendJSONMatchesRenderJSON(t *testing.T) {
+	r := sampleReport()
+	indented, err := r.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := json.Compact(&want, indented); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := r.AppendJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	compact := bytes.TrimSuffix(got.Bytes(), []byte("\n"))
+	if !bytes.Equal(compact, want.Bytes()) {
+		t.Fatalf("AppendJSON diverged from RenderJSON:\n got %s\nwant %s", compact, want.Bytes())
+	}
+
+	// The pooled scratch must keep encoding allocation-light: reuse the
+	// same buffer across runs and pin the per-call allocation count.
+	got.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		got.Reset()
+		if err := r.AppendJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Errorf("AppendJSON allocated %.1f objects per call; pooled encoding should stay under 12", allocs)
 	}
 }
 

@@ -1,0 +1,83 @@
+package scan
+
+import "sync"
+
+// DefaultMaxErrors is the ErrorLog retention cap used when none is given.
+// At fleet scale an error storm (a corrupt mirror, a bad mount) can fail
+// every image of a 100k walk; retaining the first thousand failures is
+// enough to diagnose the storm while keeping aggregation memory constant.
+const DefaultMaxErrors = 1000
+
+// ErrorLog is a bounded, concurrency-safe collector of per-image scan
+// failures. It retains the first Cap errors in arrival order and counts —
+// but does not store — everything past the cap, so a fleet-wide error
+// storm cannot grow the aggregation without bound. The zero value is
+// usable and applies DefaultMaxErrors.
+type ErrorLog struct {
+	// Cap bounds retained errors; 0 means DefaultMaxErrors, negative
+	// means retain nothing (count only).
+	Cap int
+
+	mu      sync.Mutex
+	errs    []*ScanError
+	dropped int64
+}
+
+// cap resolves the effective retention bound.
+func (l *ErrorLog) capacity() int {
+	switch {
+	case l.Cap > 0:
+		return l.Cap
+	case l.Cap < 0:
+		return 0
+	default:
+		return DefaultMaxErrors
+	}
+}
+
+// Add records one failure. It returns true when the error was retained
+// and false when it only advanced the overflow counter.
+func (l *ErrorLog) Add(e *ScanError) bool {
+	if e == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.errs) >= l.capacity() {
+		l.dropped++
+		return false
+	}
+	l.errs = append(l.errs, e)
+	return true
+}
+
+// Errors returns the retained failures in arrival order. The slice is a
+// copy; mutating it does not affect the log.
+func (l *ErrorLog) Errors() []*ScanError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*ScanError(nil), l.errs...)
+}
+
+// Len reports how many failures are retained.
+func (l *ErrorLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.errs)
+}
+
+// Dropped reports how many failures arrived past the cap — the overflow
+// counter that keeps "N failed" totals honest when the retained list is
+// truncated.
+func (l *ErrorLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Total reports every failure seen, retained or not.
+func (l *ErrorLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.errs)) + l.dropped
+}

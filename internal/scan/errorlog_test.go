@@ -1,0 +1,95 @@
+package scan_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+func scanErr(i int) *scan.ScanError {
+	return &scan.ScanError{ImageID: fmt.Sprintf("img-%04d", i), Err: fmt.Errorf("boom %d", i)}
+}
+
+// TestErrorLogDefaultCap checks the zero value retains DefaultMaxErrors
+// and counts — but does not store — the overflow.
+func TestErrorLogDefaultCap(t *testing.T) {
+	var l scan.ErrorLog
+	total := scan.DefaultMaxErrors + 250
+	for i := 0; i < total; i++ {
+		retained := l.Add(scanErr(i))
+		if want := i < scan.DefaultMaxErrors; retained != want {
+			t.Fatalf("Add(%d) retained = %v, want %v", i, retained, want)
+		}
+	}
+	if l.Len() != scan.DefaultMaxErrors {
+		t.Fatalf("Len = %d, want %d", l.Len(), scan.DefaultMaxErrors)
+	}
+	if l.Dropped() != 250 {
+		t.Fatalf("Dropped = %d, want 250", l.Dropped())
+	}
+	if l.Total() != int64(total) {
+		t.Fatalf("Total = %d, want %d", l.Total(), total)
+	}
+	errs := l.Errors()
+	if len(errs) != scan.DefaultMaxErrors {
+		t.Fatalf("Errors len = %d", len(errs))
+	}
+	// Arrival order: the first errors survive, the storm's tail is dropped.
+	if errs[0].ImageID != "img-0000" || errs[len(errs)-1].ImageID != fmt.Sprintf("img-%04d", scan.DefaultMaxErrors-1) {
+		t.Fatalf("retention lost arrival order: first=%s last=%s", errs[0].ImageID, errs[len(errs)-1].ImageID)
+	}
+}
+
+// TestErrorLogCustomAndCountOnlyCaps checks explicit and negative caps.
+func TestErrorLogCustomAndCountOnlyCaps(t *testing.T) {
+	l := &scan.ErrorLog{Cap: 3}
+	for i := 0; i < 10; i++ {
+		l.Add(scanErr(i))
+	}
+	if l.Len() != 3 || l.Dropped() != 7 || l.Total() != 10 {
+		t.Fatalf("cap 3: len=%d dropped=%d total=%d", l.Len(), l.Dropped(), l.Total())
+	}
+
+	countOnly := &scan.ErrorLog{Cap: -1}
+	for i := 0; i < 5; i++ {
+		if countOnly.Add(scanErr(i)) {
+			t.Fatal("count-only log retained an error")
+		}
+	}
+	if countOnly.Len() != 0 || countOnly.Total() != 5 {
+		t.Fatalf("count-only: len=%d total=%d", countOnly.Len(), countOnly.Total())
+	}
+
+	if l.Add(nil) {
+		t.Fatal("nil error must not be retained")
+	}
+}
+
+// TestErrorLogConcurrent hammers Add from many goroutines; the cap and
+// the total must stay exact (run under -race for the data-race half).
+func TestErrorLogConcurrent(t *testing.T) {
+	l := &scan.ErrorLog{Cap: 100}
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Add(scanErr(g*each + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", l.Len())
+	}
+	if l.Total() != goroutines*each {
+		t.Fatalf("Total = %d, want %d", l.Total(), goroutines*each)
+	}
+	if copied := l.Errors(); len(copied) != 100 {
+		t.Fatalf("Errors len = %d", len(copied))
+	}
+}

@@ -74,11 +74,12 @@ type Engine struct {
 	PlanVersion string
 }
 
-// alertApp derives an alert's app routing key from a flagged attribute:
+// AlertApp derives an alert's app routing key from a flagged attribute:
 // config attributes are named "app:Entry" (the assembler's canonical
 // column names); environment attributes ("Sys.HostName", "OS.Version")
-// fall under "system".
-func alertApp(attr string) string {
+// fall under "system". The fleet coordinator uses the same derivation so
+// sharded and unsharded scans route alerts identically.
+func AlertApp(attr string) string {
 	if app, _, ok := strings.Cut(attr, ":"); ok {
 		return app
 	}
@@ -156,7 +157,10 @@ type AttrCount struct {
 	Count int
 }
 
-// Summary aggregates a batch scan fleet-wide.
+// Summary aggregates a batch scan fleet-wide. It can be built in one shot
+// from a Result (Summarize) or accumulated incrementally item by item
+// (Observe + Finish) — the streaming form the fleet coordinator's sinks
+// use so a 100k-image walk never has to retain its items.
 type Summary struct {
 	// Scanned counts all input images, healthy or not.
 	Scanned int
@@ -169,30 +173,42 @@ type Summary struct {
 	// ByKind tallies warnings per kind across the fleet.
 	ByKind map[detect.Kind]int
 	// HotAttrs ranks attributes by how often they were flagged
-	// (descending count, ties by name).
+	// (descending count, ties by name). Populated by Finish.
 	HotAttrs []AttrCount
+
+	// attrCounts accumulates per-attribute tallies until Finish ranks them.
+	attrCounts map[string]int
 }
 
-// Summarize aggregates the result; minWarnings is the flagging floor used
-// for the Flagged count.
-func (r *Result) Summarize(minWarnings int) Summary {
-	s := Summary{Scanned: len(r.Items), ByKind: map[detect.Kind]int{}}
-	counts := map[string]int{}
-	for _, it := range r.Items {
-		if it.Err != nil {
-			s.Errors++
-			continue
-		}
-		s.Warnings += len(it.Report.Warnings)
-		for _, w := range it.Report.Warnings {
-			s.ByKind[w.Kind]++
-			counts[w.Attr]++
-		}
-		if len(it.Report.Warnings) >= minWarnings {
-			s.Flagged++
-		}
+// Observe folds one item into the summary; minWarnings is the flagging
+// floor for the Flagged count. Call Finish once all items are observed.
+// Observe is not safe for concurrent use — concurrent sinks must lock.
+func (s *Summary) Observe(it Item, minWarnings int) {
+	if s.ByKind == nil {
+		s.ByKind = map[detect.Kind]int{}
 	}
-	for attr, n := range counts {
+	if s.attrCounts == nil {
+		s.attrCounts = map[string]int{}
+	}
+	s.Scanned++
+	if it.Err != nil {
+		s.Errors++
+		return
+	}
+	s.Warnings += len(it.Report.Warnings)
+	for _, w := range it.Report.Warnings {
+		s.ByKind[w.Kind]++
+		s.attrCounts[w.Attr]++
+	}
+	if len(it.Report.Warnings) >= minWarnings {
+		s.Flagged++
+	}
+}
+
+// Finish ranks the accumulated attribute tallies into HotAttrs.
+func (s *Summary) Finish() {
+	s.HotAttrs = s.HotAttrs[:0]
+	for attr, n := range s.attrCounts {
 		s.HotAttrs = append(s.HotAttrs, AttrCount{Attr: attr, Count: n})
 	}
 	sort.Slice(s.HotAttrs, func(i, j int) bool {
@@ -201,6 +217,19 @@ func (r *Result) Summarize(minWarnings int) Summary {
 		}
 		return s.HotAttrs[i].Attr < s.HotAttrs[j].Attr
 	})
+}
+
+// Summarize aggregates the result; minWarnings is the flagging floor used
+// for the Flagged count.
+func (r *Result) Summarize(minWarnings int) Summary {
+	var s Summary
+	for _, it := range r.Items {
+		s.Observe(it, minWarnings)
+	}
+	s.Finish()
+	if s.ByKind == nil {
+		s.ByKind = map[detect.Kind]int{}
+	}
 	return s
 }
 
@@ -324,7 +353,7 @@ func (e *Engine) run(tasks []task) (*Result, error) {
 					if e.Alerts != nil {
 						for _, w := range items[i].Report.Warnings {
 							e.Alerts.Publish(alert.FromWarning(w,
-								alertApp(w.Attr), items[i].ImageID, reqID, e.PlanVersion))
+								AlertApp(w.Attr), items[i].ImageID, reqID, e.PlanVersion))
 						}
 					}
 					e.Telemetry.Add(telemetry.CounterFindingsEmitted, int64(warnings))

@@ -1,0 +1,57 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// maxScanRequestAllocs is the end-to-end allocation ceiling for one
+// /v1/scan request, measured across every goroutine involved (client,
+// server conn, handler). The diet that routed body reads through the
+// pooled sysimage buffer, report rendering through a pooled compact
+// encoder, and telemetry.L through stack scratch landed the request at
+// ~453 objects end-to-end (458 server-side by benchmem); 900 leaves ~2x
+// headroom for runtime scheduling noise while still failing hard if the
+// old MarshalIndent + io.ReadAll costs (~250 objects and ~34KB) creep
+// back in.
+const maxScanRequestAllocs = 900
+
+// TestServeScanAllocCeiling pins the serve-path allocation diet: the
+// per-request decode and render hot path must keep using the pooled
+// machinery, so the whole request stays under the ceiling.
+func TestServeScanAllocCeiling(t *testing.T) {
+	d, base := startDaemon(t, serve.Options{})
+	if _, err := d.Registry().Register("mysql", "", buildPlan(t, "mysql", 30, 19), "test"); err != nil {
+		t.Fatal(err)
+	}
+	victim := brokenVictim(t, "mysql", 4, 8)
+	url := base + "/v1/scan/mysql"
+
+	post := func() {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(victim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	// Warm the connection pool, the decode/render buffer pools, and the
+	// interner before measuring.
+	for i := 0; i < 5; i++ {
+		post()
+	}
+	allocs := testing.AllocsPerRun(30, post)
+	t.Logf("scan request: %.1f allocs end-to-end", allocs)
+	if allocs > maxScanRequestAllocs {
+		t.Errorf("scan request allocated %.1f objects end-to-end; ceiling is %d", allocs, maxScanRequestAllocs)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -100,6 +101,7 @@ func New(opts Options) (*Daemon, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scan/{app}", d.instrument("scan", d.handleScan))
+	mux.HandleFunc("POST /v1/scan/{app}/batch", d.instrument("scan_batch", d.handleScanBatch))
 	mux.HandleFunc("POST /v1/profiles/{app}", d.instrument("profiles", d.handleProfileUpload))
 	mux.HandleFunc("GET /v1/status", d.instrument("status", d.handleStatus))
 	mux.HandleFunc("GET /v1/alerts", d.instrument("alerts", d.handleAlerts))
@@ -296,16 +298,22 @@ func (d *Daemon) handleScan(w http.ResponseWriter, r *http.Request, rc *reqCtx) 
 		}
 		img = loaded
 	} else {
-		body, err := io.ReadAll(io.LimitReader(r.Body, d.opts.MaxBodyBytes+1))
-		if err == nil && int64(len(body)) > d.opts.MaxBodyBytes {
-			err = fmt.Errorf("body exceeds %d bytes", d.opts.MaxBodyBytes)
-		}
-		if err == nil && len(body) == 0 {
-			err = fmt.Errorf("empty body (send image JSON, or use ?path=)")
-		}
-		if err == nil {
-			img, err = sysimage.LoadJSON(body)
-		}
+		// The body streams through sysimage's pooled read buffer (LoadJSON
+		// copies every string it keeps), so per-request decode allocates no
+		// transient body.
+		err := sysimage.WithPooledRead(
+			io.LimitReader(r.Body, d.opts.MaxBodyBytes+1), int(r.ContentLength),
+			func(body []byte) error {
+				if int64(len(body)) > d.opts.MaxBodyBytes {
+					return fmt.Errorf("body exceeds %d bytes", d.opts.MaxBodyBytes)
+				}
+				if len(body) == 0 {
+					return fmt.Errorf("empty body (send image JSON, or use ?path=)")
+				}
+				var err error
+				img, err = sysimage.LoadJSON(body)
+				return err
+			})
 		decode.End()
 		if err != nil {
 			apiError(w, rc, http.StatusBadRequest, "decode image: %v", err)
@@ -336,8 +344,15 @@ func (d *Daemon) handleScan(w http.ResponseWriter, r *http.Request, rc *reqCtx) 
 		d.opts.Alerts.Publish(alert.FromWarning(warn, rc.App, img.ID, rc.ID, entry.Version))
 	}
 
-	reportJSON, err := report.RenderJSON()
-	if err != nil {
+	// The report renders compactly into a pooled buffer; the outer encoder
+	// re-compacts the RawMessage, so the wire bytes are identical to the
+	// MarshalIndent path this replaced, minus its two big allocations.
+	buf := renderBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		renderBufPool.Put(buf)
+	}()
+	if err := report.AppendJSON(buf); err != nil {
 		apiError(w, rc, http.StatusInternalServerError, "encode report: %v", err)
 		return
 	}
@@ -348,9 +363,12 @@ func (d *Daemon) handleScan(w http.ResponseWriter, r *http.Request, rc *reqCtx) 
 		PlanVersion:   entry.Version,
 		ElapsedMicros: elapsed.Microseconds(),
 		Findings:      len(report.Warnings),
-		Report:        reportJSON,
+		Report:        json.RawMessage(buf.Bytes()),
 	})
 }
+
+// renderBufPool recycles report-render buffers across scan requests.
+var renderBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // uploadResponse is the /v1/profiles reply.
 type uploadResponse struct {

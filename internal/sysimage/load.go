@@ -78,6 +78,41 @@ func LoadFile(path string) (*Image, error) {
 	return im, nil
 }
 
+// WithPooledRead reads r to EOF through a pooled buffer and passes the
+// bytes to fn — the streaming-body sibling of LoadFile's pooled read,
+// used by the serve daemon so per-request image decode allocates no
+// transient body buffer. The buffer is recycled when fn returns, so fn
+// must not retain it (decoding through LoadJSON is safe: encoding/json
+// copies into fresh strings). sizeHint, when positive, pre-sizes the
+// buffer (a Content-Length); reads still grow past it as needed.
+func WithPooledRead(r io.Reader, sizeHint int, fn func([]byte) error) error {
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	buf := (*bp)[:0]
+	// Clamp adversarial hints: a faked Content-Length must not pin a huge
+	// pooled allocation. Growth below handles genuinely large bodies.
+	const hintCap = 1 << 20
+	if sizeHint > cap(buf) && sizeHint <= hintCap {
+		buf = make([]byte, 0, sizeHint)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = buf
+			return fmt.Errorf("sysimage: read body: %w", err)
+		}
+	}
+	*bp = buf // keep the grown buffer for the pool
+	return fn(buf)
+}
+
 // jsonNamesIn lists the "*.json" entries of dir sorted by file name (the
 // deterministic corpus order LoadDir established).
 func jsonNamesIn(dir string) ([]string, error) {

@@ -27,25 +27,41 @@ import (
 // (the map key for the family's series). Values are escaped per the
 // exposition format. An odd trailing key is dropped. An empty call
 // returns "", the unlabeled series of a family.
+// L sits on the daemon's per-request hot path (three calls per scan), so
+// it allocates exactly once — the returned string. Pairs sort on a stack
+// array (label sets are tiny; insertion sort beats sort.Slice's closure
+// allocations) and the rendering buffer starts on the stack too, escaping
+// only via the final string conversion when it stays within bounds.
 func L(kv ...string) string {
 	n := len(kv) / 2
 	if n == 0 {
 		return ""
 	}
 	type pair struct{ k, v string }
-	pairs := make([]pair, 0, n)
+	var scratch [8]pair
+	var pairs []pair
+	if n <= len(scratch) {
+		pairs = scratch[:0]
+	} else {
+		pairs = make([]pair, 0, n)
+	}
 	for i := 0; i+1 < len(kv); i += 2 {
 		pairs = append(pairs, pair{kv[i], kv[i+1]})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	out := make([]byte, 0, 16*n)
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	var bufArr [96]byte
+	out := bufArr[:0]
 	for i, p := range pairs {
 		if i > 0 {
 			out = append(out, ',')
 		}
 		out = append(out, p.k...)
 		out = append(out, '=', '"')
-		out = append(out, promEscapeLabel(p.v)...)
+		out = appendEscapedLabel(out, p.v)
 		out = append(out, '"')
 	}
 	return string(out)

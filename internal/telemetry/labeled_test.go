@@ -24,6 +24,18 @@ func TestLabelRendering(t *testing.T) {
 	}
 }
 
+// TestLabelRenderingAllocs pins the stack-scratch diet in L: sorting and
+// escaping happen in fixed arrays, so a typical label set costs exactly
+// the one string allocation for the rendered result.
+func TestLabelRenderingAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = L("app", "mysql", "code", "200")
+	})
+	if allocs > 1 {
+		t.Errorf("L allocated %.1f objects per call; stack scratch should leave only the result string", allocs)
+	}
+}
+
 func TestLabeledFamiliesSnapshotAndProm(t *testing.T) {
 	r := New()
 	app := L("app", "mysql")

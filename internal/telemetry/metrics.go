@@ -105,6 +105,25 @@ func promEscapeLabel(v string) string {
 	return v
 }
 
+// appendEscapedLabel is promEscapeLabel for hot paths: it appends the
+// escaped value to dst without intermediate strings (clean values — the
+// overwhelmingly common case — are a straight copy).
+func appendEscapedLabel(dst []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '"':
+			dst = append(dst, '\\', '"')
+		default:
+			dst = append(dst, v[i])
+		}
+	}
+	return dst
+}
+
 // promLabeledHelp curates HELP strings for the labeled families the serve
 // daemon records; families not listed fall back to a generic line.
 var promLabeledHelp = map[string]string{
@@ -117,6 +136,13 @@ var promLabeledHelp = map[string]string{
 	"encore_serve_inflight_requests":                "Requests currently being served.",
 	"encore_build_info":                             "Build metadata; the value is always 1.",
 	"encore_alerts_total":                           "Alert delivery attempts by notifier, severity, and outcome.",
+	"encore_fleet_images_total":                     "Images processed by the sharded fleet coordinator.",
+	"encore_fleet_errors_total":                     "Per-image failures seen by the fleet coordinator.",
+	"encore_fleet_steals_total":                     "Tasks work-stolen across fleet shards.",
+	"encore_fleet_batches_total":                    "Fleet coordinator runs started.",
+	"encore_fleet_shards":                           "Shard count of the most recent fleet run.",
+	"encore_fleet_inflight_bytes":                   "Estimated bytes of image payloads currently in flight in the fleet coordinator.",
+	"encore_fleet_inflight_highwater_bytes":         "Peak in-flight payload reservation of the most recent fleet run.",
 	"encore_alerts_dropped_total":                   "Alerts dropped because the bounded queue was full.",
 	"encore_alerts_suppressed_total":                "Alerts suppressed before delivery, by reason (policy, dedup, rate).",
 	"encore_alert_queue_depth":                      "Alerts buffered in the pipeline queue awaiting dispatch.",

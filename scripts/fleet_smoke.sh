@@ -1,0 +1,76 @@
+#!/bin/sh
+# End-to-end smoke of the fleet coordinator: build a stamped binary,
+# compile a plan, push a 1k-image synthetic fleet through the sharded
+# CLI path (constant-memory aggregation, stats snapshot carrying the
+# encore_fleet_* families), then boot the resident daemon and stream the
+# same fleet through the NDJSON batch endpoint, asserting the per-image
+# lines, the trailing summary, and the fleet metric families on
+# /metrics. SIGTERM the daemon and require a clean exit.
+set -eu
+
+GO=${GO:-go}
+VERSION=${VERSION:-smoke}
+FLEET=${FLEET:-1000}
+DIR=${TMPDIR:-/tmp}/encore-fleet-smoke
+rm -rf "$DIR" && mkdir -p "$DIR/plans"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "fleet-smoke: building stamped binary"
+$GO build -ldflags "-X main.version=$VERSION" -o "$DIR/encore" ./cmd/encore
+"$DIR/encore" version | grep -q "encore $VERSION"
+
+echo "fleet-smoke: generating corpus + compiling plan"
+$GO run ./cmd/imagegen -app mysql -n 10 -seed 7 -out "$DIR/training" >/dev/null
+$GO run ./cmd/imagegen -app mysql -n 4 -seed 91 -out "$DIR/targets" >/dev/null
+"$DIR/encore" compile -training "$DIR/training" -plan-out "$DIR/plans/mysql.plan" >/dev/null
+
+echo "fleet-smoke: scanning $FLEET synthetic images through the sharded CLI"
+"$DIR/encore" scan -plan "$DIR/plans/mysql.plan" -targets "$DIR/targets" \
+    -fleet "$FLEET" -shards 4 -stats-json "$DIR/stats.json" \
+    > "$DIR/scan.out" 2> "$DIR/scan.err"
+grep -q "scanned $FLEET images" "$DIR/scan.out"
+grep -q "fleet: 4 shards" "$DIR/scan.err"
+for fam in encore_fleet_images_total encore_fleet_batches_total encore_fleet_shards; do
+    grep -q "$fam" "$DIR/stats.json" || { echo "fleet-smoke: stats.json missing $fam"; exit 1; }
+done
+
+echo "fleet-smoke: booting daemon"
+"$DIR/encore" serve -addr 127.0.0.1:0 -addr-file "$DIR/addr" -plans "$DIR/plans" \
+    -shutdown-timeout 5s -log-level warn &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$DIR/addr" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "fleet-smoke: daemon died during boot"; exit 1; }
+    sleep 0.1
+done
+[ -s "$DIR/addr" ] || { echo "fleet-smoke: daemon never wrote addr-file"; exit 1; }
+BASE="http://$(cat "$DIR/addr" | tr -d '[:space:]')"
+echo "fleet-smoke: daemon at $BASE"
+curl -fsS "$BASE/readyz" | grep -q '"ready"'
+
+echo "fleet-smoke: streaming $FLEET synthetic images through the batch endpoint"
+curl -fsS -X POST "$BASE/v1/scan/mysql/batch?dir=$DIR/targets&synthetic=$FLEET&shards=4" \
+    > "$DIR/batch.ndjson"
+LINES=$(grep -c '"index"' "$DIR/batch.ndjson")
+[ "$LINES" -eq "$FLEET" ] || { echo "fleet-smoke: batch streamed $LINES lines, want $FLEET"; exit 1; }
+grep -q '"summary":true' "$DIR/batch.ndjson"
+grep -q "\"images\":$FLEET" "$DIR/batch.ndjson"
+grep -q '"shards":4' "$DIR/batch.ndjson"
+
+echo "fleet-smoke: checking fleet metric families"
+curl -fsS "$BASE/metrics" > "$DIR/metrics.prom"
+for fam in encore_fleet_images_total encore_fleet_batches_total encore_fleet_shards \
+    encore_fleet_inflight_highwater_bytes; do
+    grep -q "$fam" "$DIR/metrics.prom" || { echo "fleet-smoke: /metrics missing $fam"; exit 1; }
+done
+
+echo "fleet-smoke: graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "fleet-smoke: daemon exited non-zero"; exit 1; }
+DAEMON_PID=""
+
+echo "fleet-smoke: fleet coordinator OK"
